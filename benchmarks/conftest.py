@@ -1,0 +1,23 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every file in this directory regenerates one figure or table from the
+paper's evaluation.  Each benchmark runs the full simulated experiment
+once (via ``benchmark.pedantic(..., rounds=1)``), prints the reproduced
+rows/series next to the paper's reference values, and asserts the
+*shape* claims (who wins, by roughly what factor, where curves peak) --
+absolute numbers come from a calibrated simulator, not the authors'
+testbed, and are not expected to match exactly.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def show(text: str) -> None:
+    """Print a reproduction artefact (visible with -s; pytest captures
+    otherwise but still stores it on failure)."""
+    print(text)

@@ -1,0 +1,51 @@
+"""Figure 1: latency breakdown of NOVA.
+
+Paper: single-threaded read()/write() with I/O sizes 4K-64K; at 64 KB,
+up to ~95 % (read) and ~63 % (write) of CPU cycles go to data copy
+(memcpy); metadata/indexing/syscall make up the rest.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.analysis.report import banner, fmt_table
+from repro.workloads import measure_single_op
+
+SIZES = [4096, 8192, 16384, 32768, 65536]
+PHASES = ["metadata", "memcpy", "indexing", "syscall"]
+
+
+def reproduce():
+    out = {}
+    for op in ("write", "read"):
+        rows = []
+        for size in SIZES:
+            lat, _cpu, bd = measure_single_op("nova", op, size)
+            rows.append((size, lat, bd))
+        out[op] = rows
+    return out
+
+
+def test_fig01_nova_latency_breakdown(benchmark):
+    data = run_once(benchmark, reproduce)
+    show(banner("Figure 1: NOVA latency breakdown (us)"))
+    for op, rows in data.items():
+        table = []
+        for size, lat, bd in rows:
+            table.append([f"{size // 1024}K", lat / 1000]
+                         + [bd.get(p, 0) / 1000 for p in PHASES]
+                         + [f"{bd.get('memcpy', 0) / lat:.0%}"])
+        show(f"\n{op.upper()}")
+        show(fmt_table(["size", "total", *PHASES, "memcpy%"], table))
+
+    # Shape assertions (paper: memcpy dominates and its share grows
+    # with I/O size; read share exceeds write share).
+    for op, ceiling in (("write", 0.63), ("read", 0.95)):
+        shares = [bd["memcpy"] / lat for _s, lat, bd in data[op]]
+        assert shares == sorted(shares), f"{op} memcpy share must grow"
+        assert shares[-1] > 0.60, f"{op} 64K memcpy share too small"
+    w64 = data["write"][-1]
+    r64 = data["read"][-1]
+    assert r64[2]["memcpy"] / r64[1] > w64[2]["memcpy"] / w64[1]
+    # Latency grows monotonically with I/O size.
+    for op in ("write", "read"):
+        lats = [lat for _s, lat, _b in data[op]]
+        assert lats == sorted(lats)

@@ -1,0 +1,52 @@
+"""Figure 3: bandwidth with a varying number of DMA channels.
+
+Paper: 16 cores submit concurrently.  Writes: 4 KB peaks around 4
+channels, then degrades; larger I/O degrades (near-)monotonically as
+channels are added.  Reads: never decline, peak at 2-4 channels for
+larger I/O.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.analysis.report import banner, fmt_series
+from repro.workloads.hwbench import measure_copy_bandwidth
+
+CHANNELS = [1, 2, 4, 6, 8]
+SIZES = [4096, 16384, 65536]
+
+
+def reproduce():
+    series = {}
+    for write in (True, False):
+        d = "write" if write else "read"
+        for size in SIZES:
+            series[f"{d}/{size // 1024}K"] = [
+                measure_copy_bandwidth("dma", write, cores=16, io_size=size,
+                                       channels=ch).bandwidth_gbps
+                for ch in CHANNELS]
+    return series
+
+
+def test_fig03_multichannel_bandwidth(benchmark):
+    s = run_once(benchmark, reproduce)
+    show(banner("Figure 3: bandwidth vs #channels (GB/s), 16 cores"))
+    for name in sorted(s):
+        show(fmt_series(name, CHANNELS, s[name]))
+
+    # Writes: more channels is NOT always beneficial.
+    for size in SIZES:
+        w = s[f"write/{size // 1024}K"]
+        assert w[-1] < max(w), \
+            f"write {size}: 8 channels should underperform the peak"
+    # 4 KB writes need a few channels to peak (per-descriptor overhead).
+    w4 = s["write/4K"]
+    peak_at = CHANNELS[w4.index(max(w4))]
+    assert peak_at >= 2, "4K writes should peak beyond one channel"
+    # 64 KB writes: one channel is already at/near the optimum.
+    w64 = s["write/64K"]
+    assert w64[0] >= 0.9 * max(w64)
+    # Reads never decline appreciably and peak by ~2-4 channels.
+    for size in SIZES:
+        r = s[f"read/{size // 1024}K"]
+        assert r[-1] >= 0.93 * max(r), f"read {size} must not decline"
+    r64 = s["read/64K"]
+    assert r64[CHANNELS.index(4)] >= 0.95 * max(r64)

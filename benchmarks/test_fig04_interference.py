@@ -1,0 +1,42 @@
+"""Figure 4: interference between foreground and background programs.
+
+Paper: a foreground program issues 64 KB DMA reads while a background
+program periodically moves 2 MB (a GC).  Switching the background from
+memcpy to DMA more than doubles foreground latency; *sharing* the
+foreground's channel causes catastrophic head-of-line blocking
+(log-scale spikes to hundreds of µs).
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.analysis.report import banner, fmt_table, sparkline
+from repro.workloads.hwbench import measure_interference
+
+MODES = ["memcpy", "dma-ex", "dma-sh"]
+
+
+def reproduce():
+    return {mode: measure_interference(mode, duration_us=12_000)
+            for mode in MODES}
+
+
+def test_fig04_fg_bg_interference(benchmark):
+    results = run_once(benchmark, reproduce)
+    show(banner("Figure 4: FG 64K-read latency under BG bulk movement"))
+    rows = []
+    for mode, r in results.items():
+        rows.append([f"BG-{mode}", r.fg_mean_us(False), r.fg_mean_us(True),
+                     r.fg_max_us(True)])
+        values = [v for _t, v in r.timeline.bucketed(200_000)]
+        show(f"BG-{mode:7s} |{sparkline(values)}|")
+    show(fmt_table(["background", "idle mean us", "GC mean us", "GC max us"],
+                   rows))
+
+    memcpy, ex, sh = (results[m] for m in MODES)
+    # BG-memcpy barely disturbs the foreground.
+    assert memcpy.fg_max_us(True) < memcpy.fg_mean_us(False) * 1.5
+    # BG-DMA-EX roughly doubles foreground latency during GC.
+    assert ex.fg_mean_us(True) > 1.35 * ex.fg_mean_us(False)
+    assert ex.fg_mean_us(True) > 1.5 * memcpy.fg_mean_us(True)
+    # BG-DMA-SH head-of-line blocks: order-of-magnitude spikes.
+    assert sh.fg_max_us(True) > 10 * ex.fg_max_us(True)
+    assert sh.fg_max_us(True) > 100, "SH spikes should reach 100s of us"

@@ -1,0 +1,67 @@
+"""Figure 8: single-thread read/write latency across filesystems.
+
+Paper: EasyIO achieves the lowest latency for both operations (~22 %
+below NOVA on average); NOVA-DMA is similar to EasyIO for reads; the
+latency advantage grows with I/O size (up to ~41 % at 64 KB writes);
+and EasyIO-CPU (the CPU time actually spent) is a small fraction of
+the operation -- the harvestable cycles.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.analysis.report import banner, fmt_table
+from repro.workloads import measure_single_op
+
+SIZES = [4096, 8192, 16384, 32768, 65536]
+KINDS = ["nova", "nova-dma", "odinfs", "easyio"]
+
+
+def reproduce():
+    data = {}
+    for op in ("write", "read"):
+        for kind in KINDS:
+            for size in SIZES:
+                lat, cpu, _bd = measure_single_op(kind, op, size)
+                data[(op, kind, size)] = (lat, cpu)
+    return data
+
+
+def test_fig08_single_thread_latency(benchmark):
+    d = run_once(benchmark, reproduce)
+    for op in ("write", "read"):
+        show(banner(f"Figure 8: single-thread {op} latency (us)"))
+        rows = []
+        for kind in KINDS:
+            rows.append([kind] + [d[(op, kind, s)][0] / 1000 for s in SIZES])
+        rows.append(["EasyIO-CPU"]
+                    + [d[(op, "easyio", s)][1] / 1000 for s in SIZES])
+        show(fmt_table(["fs"] + [f"{s // 1024}K" for s in SIZES], rows))
+
+    def lat(op, kind, size):
+        return d[(op, kind, size)][0]
+
+    # EasyIO has the lowest latency for both ops at every size.
+    for op in ("write", "read"):
+        for size in SIZES:
+            easy = lat(op, "easyio", size)
+            for other in ("nova", "nova-dma", "odinfs"):
+                assert easy <= lat(op, other, size) * 1.02, \
+                    f"{op}/{size}: EasyIO not lowest vs {other}"
+    # Average reduction vs NOVA in the paper's ballpark (>= 10 %).
+    for op in ("write", "read"):
+        reduction = sum(1 - lat(op, "easyio", s) / lat(op, "nova", s)
+                        for s in SIZES) / len(SIZES)
+        assert reduction > 0.10, f"{op}: mean reduction {reduction:.0%}"
+    # The write advantage grows with I/O size and is largest at 64 KB.
+    gains = [1 - lat("write", "easyio", s) / lat("write", "nova", s)
+             for s in SIZES]
+    assert gains[-1] == max(gains)
+    assert gains[-1] > 0.15
+    # EasyIO-CPU is a small fraction at 64 KB (cycles are harvested).
+    w_lat, w_cpu = d[("write", "easyio", 65536)]
+    r_lat, r_cpu = d[("read", "easyio", 65536)]
+    assert w_cpu / w_lat < 0.45
+    assert r_cpu / r_lat < 0.45
+    # 4 KB ops bypass the DMA engine entirely (selective offload):
+    # EasyIO-CPU equals the full latency there.
+    lat4, cpu4 = d[("write", "easyio", 4096)]
+    assert cpu4 == lat4

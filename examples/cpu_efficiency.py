@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's headline: EasyIO reaches peak write bandwidth with a
+fraction of the cores a synchronous filesystem needs.
+
+Sweeps worker cores for NOVA (synchronous memcpy) and EasyIO
+(asynchronous DMA + uthread scheduling) on the FxMark private-file
+64 KB write workload and prints throughput, CPU busy fraction, and the
+cores needed to reach (approximately) peak throughput.
+
+Run:  python examples/cpu_efficiency.py
+"""
+
+from repro.analysis.report import fmt_table
+from repro.workloads import FxmarkConfig, run_fxmark
+
+CORES = [1, 2, 4, 8, 12, 16]
+IO_SIZE = 64 * 1024
+
+
+def sweep(kind):
+    points = []
+    for cores in CORES:
+        r = run_fxmark(FxmarkConfig(kind=kind, op="write", io_size=IO_SIZE,
+                                    workers=cores, duration_us=1500,
+                                    warmup_us=400))
+        points.append((cores, r.bandwidth_gbps, r.mean_us,
+                       r.cpu_busy_fraction))
+    return points
+
+
+def main():
+    results = {kind: sweep(kind) for kind in ("nova", "easyio")}
+    for kind, pts in results.items():
+        print(f"\n=== {kind.upper()} : 64 KiB writes, private files ===")
+        print(fmt_table(
+            ["cores", "bandwidth GB/s", "mean latency us", "CPU busy"],
+            [[c, bw, lat, f"{busy:.0%}"] for c, bw, lat, busy in pts]))
+
+    def cores_at_peak(pts, tol=0.95):
+        peak = max(bw for _c, bw, _l, _b in pts)
+        return next(c for c, bw, _l, _b in pts if bw >= tol * peak)
+
+    nova_c = cores_at_peak(results["nova"])
+    easy_c = cores_at_peak(results["easyio"])
+    print(f"\ncores to reach ~peak bandwidth:  NOVA={nova_c}  "
+          f"EasyIO={easy_c}")
+    print(f"EasyIO saves {1 - easy_c / nova_c:.0%} of the cores "
+          f"(paper: up to 88%) -- the harvested cycles are what the "
+          f"eight applications in examples/ and benchmarks/ spend on "
+          f"real work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: mount EasyIO, write and read files asynchronously.
+
+Shows the core mechanics of the paper in ~60 lines:
+
+* a large ``write()`` returns *before* its data lands -- the DMA engine
+  moves it while the CPU does other things (the OpResult carries the
+  pending completion and the SNs embedded in the metadata);
+* a <=4 KB write takes the synchronous memcpy path (selective offload);
+* the persistent completion buffers advance as DMAs finish;
+* read-back verifies the data survived the round trip.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EasyIoFS, Platform
+
+platform = Platform()                 # the paper's 36-core, 6-DIMM testbed
+fs = EasyIoFS(platform).mount()
+engine = platform.engine
+
+
+def main():
+    ctx = fs.context()
+    ino = yield from fs.create(ctx, "/hello.dat")
+    print(f"[{engine.now:>8} ns] created /hello.dat (inode {ino})")
+
+    # -- a large, DMA-offloaded write --------------------------------
+    payload = bytes(range(256)) * 256            # 64 KiB
+    ctx = fs.context()
+    result = yield from fs.write(ctx, ino, 0, len(payload), payload)
+    print(f"[{engine.now:>8} ns] write() returned: {result.value} bytes, "
+          f"async={result.is_async}, SNs={result.sns}")
+    print(f"            CPU spent in the syscall: {ctx.cpu_ns} ns "
+          f"(the rest of the copy happens in the DMA engine)")
+
+    yield result.pending                         # wait for the data to land
+    print(f"[{engine.now:>8} ns] DMA completed; persistent completion "
+          f"buffers: {dict(fs.image.completion_buffers)}")
+
+    # -- a small write stays on the CPU (selective offloading) -------
+    ctx = fs.context()
+    small = yield from fs.write(ctx, ino, len(payload), 4096, b"x" * 4096)
+    print(f"[{engine.now:>8} ns] 4 KiB write: async={small.is_async} "
+          f"(memcpy path)")
+
+    # -- read it all back ---------------------------------------------
+    ctx = fs.context()
+    rd = yield from fs.read(ctx, ino, 0, len(payload) + 4096, want_data=True)
+    if rd.is_async:
+        yield rd.pending
+    ok = rd.value == payload + b"x" * 4096
+    print(f"[{engine.now:>8} ns] read back {len(rd.value)} bytes: "
+          f"{'OK' if ok else 'MISMATCH'}")
+    assert ok
+
+    st = yield from fs.stat(fs.context(), "/hello.dat")
+    print(f"[{engine.now:>8} ns] stat: size={st[2]}, links={st[4]}")
+
+
+proc = engine.process(main())
+platform.run()
+if not proc.ok:
+    raise proc.value
+print(f"\nsimulated time elapsed: {engine.now / 1000:.2f} us; "
+      f"DMA writes: {fs.dma_writes}, memcpy writes: {fs.memcpy_writes}")

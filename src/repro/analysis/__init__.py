@@ -1,0 +1,19 @@
+"""Measurement and reporting utilities.
+
+:mod:`repro.analysis.metrics` collects latency distributions,
+throughput windows, and time series; :mod:`repro.analysis.report`
+renders the text tables and series the benchmark harness prints for
+each reproduced figure/table.
+"""
+
+from repro.analysis.metrics import LatencySeries, Timeline, ThroughputMeter
+from repro.analysis.report import fmt_table, fmt_series, banner
+
+__all__ = [
+    "LatencySeries",
+    "ThroughputMeter",
+    "Timeline",
+    "banner",
+    "fmt_series",
+    "fmt_table",
+]

@@ -1,0 +1,127 @@
+"""Latency, throughput, and time-series collection."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+
+class LatencySeries:
+    """A collection of latency samples (ns) with percentile queries."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, ns: int) -> None:
+        self.samples.append(ns)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Average latency in ns (0.0 when empty)."""
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0 < p <= 100), linear interpolation."""
+        if not self.samples:
+            return 0.0
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        data = sorted(self.samples)
+        k = (len(data) - 1) * (p / 100.0)
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return float(data[lo])
+        return data[lo] + (data[hi] - data[lo]) * (k - lo)
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def maximum(self) -> float:
+        return float(max(self.samples)) if self.samples else 0.0
+
+    def mean_us(self) -> float:
+        return self.mean() / 1000.0
+
+    def p99_us(self) -> float:
+        return self.p99() / 1000.0
+
+
+class ThroughputMeter:
+    """Counts operations (and bytes) inside a measurement window."""
+
+    def __init__(self, window_start: int, window_end: int):
+        if window_end <= window_start:
+            raise ValueError("empty measurement window")
+        self.window_start = window_start
+        self.window_end = window_end
+        self.ops = 0
+        self.bytes = 0
+
+    def record(self, now: int, nbytes: int = 0) -> bool:
+        """Count an op completing at ``now`` if it falls in the window."""
+        if self.window_start <= now < self.window_end:
+            self.ops += 1
+            self.bytes += nbytes
+            return True
+        return False
+
+    @property
+    def window_ns(self) -> int:
+        return self.window_end - self.window_start
+
+    def ops_per_sec(self) -> float:
+        return self.ops * 1e9 / self.window_ns
+
+    def bandwidth_gbps(self) -> float:
+        """GB/s moved during the window."""
+        return self.bytes / self.window_ns
+
+
+class Timeline:
+    """(time, value) samples for latency-over-time figures (4 and 12)."""
+
+    def __init__(self, name: str = "timeline"):
+        self.name = name
+        self.points: List[Tuple[int, float]] = []
+
+    def record(self, t: int, value: float) -> None:
+        self.points.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def max_value(self, t_lo: Optional[int] = None,
+                  t_hi: Optional[int] = None) -> float:
+        vals = [v for t, v in self.points
+                if (t_lo is None or t >= t_lo) and (t_hi is None or t < t_hi)]
+        return max(vals) if vals else 0.0
+
+    def mean_value(self, t_lo: Optional[int] = None,
+                   t_hi: Optional[int] = None) -> float:
+        vals = [v for t, v in self.points
+                if (t_lo is None or t >= t_lo) and (t_hi is None or t < t_hi)]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def bucketed(self, bucket_ns: int) -> List[Tuple[int, float]]:
+        """Max value per time bucket (what the paper's figures plot)."""
+        buckets = {}
+        for t, v in self.points:
+            b = t // bucket_ns
+            buckets[b] = max(buckets.get(b, 0.0), v)
+        return [(b * bucket_ns, v) for b, v in sorted(buckets.items())]
+
+
+def speedup(new: float, base: float) -> float:
+    """`new` over `base`, guarding division by zero."""
+    return new / base if base else math.inf

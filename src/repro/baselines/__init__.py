@@ -1,0 +1,16 @@
+"""Comparison filesystems from the paper's evaluation (§6.1).
+
+* :class:`~repro.fs.nova.NovaFS` (imported from :mod:`repro.fs`) --
+  plain synchronous NOVA.
+* :class:`~repro.baselines.nova_dma.NovaDmaFS` -- the authors'
+  reimplementation of Fastmove [69]: synchronous DMA offload across
+  all channels.
+* :class:`~repro.baselines.odinfs.OdinfsFS` -- Odinfs [76]: data
+  movement delegated to reserved background threads that parallelise
+  large I/Os.
+"""
+
+from repro.baselines.nova_dma import NovaDmaFS
+from repro.baselines.odinfs import OdinfsFS
+
+__all__ = ["NovaDmaFS", "OdinfsFS"]

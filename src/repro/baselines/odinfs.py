@@ -1,0 +1,142 @@
+"""Odinfs [76]: NUMA-aware delegation of data movement.
+
+Odinfs reserves physical cores to run background *delegation threads*;
+an application thread hands each data-movement request to them (split
+into chunks, spread across threads) and waits.  Large I/Os are thus
+parallelised across cores -- lower latency for bulk transfers -- at
+the price of permanently burning the reserved cores.
+
+The paper's configuration (§6.1): 12 reserved cores per NUMA node, so
+at most 12 worker threads remain usable in a 16-core experiment; its
+throughput curves flatten once workers run out (Figure 9/10).
+
+The application thread *sleeps* while delegation threads copy -- that
+looks similar to EasyIO's offload, but the interface is synchronous:
+the thread cannot run other work, so the saved cycles only help
+whole-machine utilisation, not the application's own throughput.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fs.nova import NovaFS, OpContext, OpResult
+from repro.fs.pmimage import PMImage
+from repro.fs.structures import PAGE_SIZE, MemInode
+from repro.hw.cpu import Core
+from repro.hw.platform import Platform
+from repro.sim import Store
+
+
+class _DelegationRequest:
+    __slots__ = ("nbytes", "write", "done", "tag")
+
+    def __init__(self, engine, nbytes: int, write: bool, tag):
+        self.nbytes = nbytes
+        self.write = write
+        self.tag = tag
+        self.done = engine.event()
+
+
+class _DelegationThread:
+    """One background thread pinned to a reserved core."""
+
+    def __init__(self, fs: "OdinfsFS", core: Core):
+        self.fs = fs
+        self.core = core
+        self.queue = Store(fs.engine)
+        self.bytes_moved = 0
+        fs.engine.process(self._loop(), name=f"odinfs-dg{core.core_id}")
+
+    def _loop(self):
+        while True:
+            req = yield self.queue.get()
+            self.core.mark_busy("odinfs-delegation")
+            try:
+                yield from self.fs.memory.delegated_copy(
+                    req.nbytes, write=req.write, tag=req.tag)
+            finally:
+                self.core.mark_idle()
+            self.bytes_moved += req.nbytes
+            req.done.succeed()
+
+
+class OdinfsFS(NovaFS):
+    """NOVA-format filesystem with Odinfs-style delegated data movement."""
+
+    name = "Odinfs"
+
+    def __init__(self, platform: Platform, image: Optional[PMImage] = None,
+                 delegation_cores: Optional[List[Core]] = None):
+        super().__init__(platform, image)
+        if delegation_cores is None:
+            # Paper default: 12 reserved cores per NUMA node, taken from
+            # the top of the core range so workers use the bottom.
+            reserve = 12 * platform.config.sockets
+            delegation_cores = platform.cores[-reserve:]
+        if not delegation_cores:
+            raise ValueError("Odinfs needs at least one delegation core")
+        self.delegation_cores = delegation_cores
+        self.threads = [_DelegationThread(self, core)
+                        for core in delegation_cores]
+        self._rr = 0
+        self.requests_delegated = 0
+
+    @property
+    def reserved_cores(self) -> int:
+        return len(self.delegation_cores)
+
+    # ------------------------------------------------------------------
+    # Delegated copy: split, fan out round-robin, wait for all chunks
+    # ------------------------------------------------------------------
+    def _delegate(self, ctx: OpContext, nbytes: int, write: bool, tag):
+        chunk = self.model.delegation_chunk
+        sizes = [chunk] * (nbytes // chunk)
+        if nbytes % chunk:
+            sizes.append(nbytes % chunk)
+        events = []
+        for size in sizes:
+            # Dispatch costs the app thread a ring enqueue per chunk.
+            yield from ctx.charge("memcpy", self.model.delegation_dispatch_cost)
+            thread = self.threads[self._rr % len(self.threads)]
+            self._rr += 1
+            req = _DelegationRequest(self.engine, size, write, tag)
+            thread.queue.put(req)
+            events.append(req.done)
+            self.requests_delegated += 1
+        # The app thread sleeps until every chunk lands (synchronous
+        # interface; the kernel wakeup is not free).
+        t0 = self.engine.now
+        yield from ctx.idle_wait(self.engine.all_of(events))
+        yield from ctx.charge("syscall", self.model.kernel_wakeup_cost)
+        if ctx.record:
+            ctx.breakdown["wait"] += self.engine.now - t0
+
+    # ------------------------------------------------------------------
+    # Data paths
+    # ------------------------------------------------------------------
+    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
+                      nbytes: int, payload: Optional[bytes]):
+        try:
+            yield from self._charge_lock_contention(ctx)
+            prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
+            yield from self._delegate(ctx, nbytes, write=True, tag=("w", m.ino))
+            self._persist_pages(prep)
+            yield from self._commit_write(ctx, m, prep, sns=())
+        finally:
+            m.lock.release_write()
+        return OpResult(value=nbytes, ctx=ctx)
+
+    def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
+                      nbytes: int, runs, want_data: bool):
+        try:
+            total = sum(len(pages) * PAGE_SIZE for _off, pages in runs if pages)
+            if total:
+                yield from self._delegate(ctx, total, write=False,
+                                          tag=("r", m.ino))
+            yield from ctx.charge("metadata", self.model.timestamp_update_cost)
+            value = (self._collect_data(m, offset, nbytes)
+                     if want_data else nbytes)
+        finally:
+            m.lock.release_read()
+        return OpResult(value=value, ctx=ctx)

@@ -1,0 +1,22 @@
+"""EasyIO: schedulable asynchronous I/O for slow-memory filesystems.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.easyio` -- the EasyIO filesystem (applied to NOVA,
+  §5): DMA-offloaded data movement, orderless file operation (§4.2),
+  two-level locking (§4.3), and the Naive ablation variant (§6.4).
+* :mod:`repro.core.channel_manager` -- the traffic-aware channel
+  manager (§4.4): L-/B-app channel separation, epoch-based bandwidth
+  throttling via CHANCMD, bulk-I/O splitting, selective offloading and
+  read admission control (Listings 1-2).
+"""
+
+from repro.core.channel_manager import AppProfile, ChannelManager
+from repro.core.easyio import EasyIoFS, NaiveAsyncFS
+
+__all__ = [
+    "AppProfile",
+    "ChannelManager",
+    "EasyIoFS",
+    "NaiveAsyncFS",
+]

@@ -1,0 +1,254 @@
+"""EasyIO applied to NOVA (§4-§5): the asynchronous slow-memory filesystem.
+
+What changes relative to the synchronous :class:`~repro.fs.nova.NovaFS`
+mirrors the paper's <50-line NOVA patch:
+
+* the read/write data paths go through the channel manager and the
+  on-chip DMA engine instead of memcpy (with selective offloading);
+* write log entries carry the SN of their DMA descriptors, letting the
+  metadata commit proceed *in parallel* with the data copy
+  (**orderless file operation**, §4.2);
+* the file lock is released as soon as the metadata commit lands, and
+  a **two-level lock** (§4.3) -- the level-2 check compares the last
+  committed mapping's SN against the channel's completion buffer --
+  regulates write-write/read conflicts while read-write conflicts
+  proceed immediately (CoW protects in-flight readers);
+* recovery discards committed entries whose SNs the persistent
+  completion buffers do not cover (wired via
+  :func:`repro.fs.recovery.completion_buffer_validator`).
+
+:class:`NaiveAsyncFS` is the §6.4 ablation: asynchronous DMA offload
+*without* orderless operation or two-level locking -- data and metadata
+strictly ordered into two syscalls, the file lock held across the gap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.channel_manager import AppProfile, ChannelManager
+from repro.fs.nova import NovaFS, OpContext, OpResult
+from repro.fs.pmimage import PMImage
+from repro.fs.structures import PAGE_SIZE, MemInode
+from repro.hw.dma import DmaChannel, DmaDescriptor
+from repro.hw.platform import Platform
+
+
+class EasyIoFS(NovaFS):
+    """NOVA + EasyIO: asynchronous read()/write() with orderless
+    metadata and two-level locking."""
+
+    name = "EasyIO"
+
+    def __init__(self, platform: Platform, image: Optional[PMImage] = None,
+                 channel_manager: Optional[ChannelManager] = None):
+        super().__init__(platform, image)
+        self.cm = channel_manager or ChannelManager(platform)
+        self.dma_writes = 0
+        self.dma_reads = 0
+        self.memcpy_reads = 0
+        self.memcpy_writes = 0
+        # EasyIO places completion buffers in a persistent region
+        # (§4.2): every completion-buffer update is a durable store.
+        for ch in platform.dma.channels:
+            ch.on_completion = self._persist_completion
+
+    def _persist_completion(self, channel: DmaChannel) -> None:
+        self.image.update_completion_buffer(channel.channel_id,
+                                            channel.completion_sn)
+
+    # ------------------------------------------------------------------
+    # Two-level locking (§4.3)
+    # ------------------------------------------------------------------
+    def _wait_level2(self, ctx: OpContext, m: MemInode):
+        """Level-2 check: block until the previous write's DMA lands.
+
+        Runs with the level-1 lock held; safe because completion is
+        hardware-driven and always makes progress (no deadlock).  The
+        wait spins inside the syscall, so it costs CPU -- which is why
+        high-contention workloads cap EasyIO's benefit (§6.6).
+        """
+        for chid, sn in m.pending_sns:
+            ch = self.platform.dma.channel(chid)
+            if not ch.is_complete(sn):
+                t0 = self.engine.now
+                yield ch.completion_event(sn)
+                waited = self.engine.now - t0
+                if ctx.record:
+                    ctx.breakdown["wait"] += waited
+                ctx.cpu_ns += waited
+
+    # ------------------------------------------------------------------
+    # Write path: orderless file operation (§4.2)
+    # ------------------------------------------------------------------
+    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
+                      nbytes: int, payload: Optional[bytes]):
+        try:
+            # Write-write conflict: an unfinished earlier write blocks us.
+            yield from self._wait_level2(ctx, m)
+            yield from self._charge_lock_contention(ctx)
+            prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
+            if not self.cm.should_offload_write(nbytes):
+                # Selective offloading: small I/O stays on the CPU.
+                self.memcpy_writes += 1
+                for run_bytes in prep.run_sizes:
+                    yield from ctx.timed_cpu(
+                        "memcpy", self.memory.cpu_copy(run_bytes, write=True,
+                                                       tag=("w", m.ino)))
+                self._persist_pages(prep)
+                yield from self._commit_write(ctx, m, prep, sns=())
+                m.pending_sns = ()
+                return OpResult(value=nbytes, ctx=ctx)
+            self.dma_writes += 1
+            descs, channel = yield from self._submit_write_dma(ctx, m, prep)
+            sns = tuple((channel.channel_id, d.sn) for d in descs)
+            pending = self._pending_event(descs)
+            # Orderless: the metadata commit (with embedded SNs) runs
+            # while the DMA engine moves the data.  The replaced pages
+            # are recycled only once the data has landed.
+            yield from self._commit_write(ctx, m, prep, sns=sns,
+                                          free_on=pending)
+            m.pending_sns = sns
+            return OpResult(value=nbytes, pending=pending, sns=sns, ctx=ctx)
+        finally:
+            # Early release: the syscall both locked and unlocked the
+            # file -- no lock is ever held across a scheduling point.
+            m.lock.release_write()
+
+    def _submit_write_dma(self, ctx: OpContext, m: MemInode, prep):
+        """Build one descriptor per contiguous page run (B-apps: split
+        to 64 KB), batch-submit, and hook page persistence."""
+        app = ctx.app
+        channel = self.cm.write_channel(app)
+        descs: List[DmaDescriptor] = []
+        for pids, contents in _contiguous_runs(prep.page_ids, prep.contents):
+            run_bytes = len(pids) * PAGE_SIZE
+            for chunk in self.cm.split(app, run_bytes):
+                take = chunk // PAGE_SIZE
+                chunk_pids, pids = pids[:take], pids[take:]
+                chunk_contents, contents = contents[:take], contents[take:]
+                desc = DmaDescriptor(chunk, write=True, tag=("w", m.ino))
+                desc.on_complete = self._page_persister(chunk_pids, chunk_contents)
+                descs.append(desc)
+        # The submission cost is the CPU's remaining share of the data
+        # movement, so it lands in the memcpy bucket.
+        for i in range(0, len(descs), self.model.dma_batch_max):
+            batch = descs[i:i + self.model.dma_batch_max]
+            yield from ctx.timed_cpu("memcpy", channel.submit(batch))
+        return descs, channel
+
+    def _page_persister(self, pids, contents):
+        def persist(_desc):
+            for pid, content in zip(pids, contents):
+                self.image.write_page(pid, content)
+        return persist
+
+    def _pending_event(self, descs: List[DmaDescriptor]):
+        if len(descs) == 1:
+            return descs[0].done
+        return self.engine.all_of([d.done for d in descs])
+
+    # ------------------------------------------------------------------
+    # Read path: DMA + memcpy with admission control (Listing 2)
+    # ------------------------------------------------------------------
+    def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
+                      nbytes: int, runs, want_data: bool):
+        pending_descs: List[DmaDescriptor] = []
+        try:
+            for _off, pages in runs:
+                if not pages:
+                    continue
+                run_bytes = len(pages) * PAGE_SIZE
+                channel = self.cm.admit_read(run_bytes, ctx.app)
+                if channel is None:
+                    self.memcpy_reads += 1
+                    yield from ctx.timed_cpu(
+                        "memcpy", self.memory.cpu_copy(run_bytes, write=False,
+                                                       tag=("r", m.ino)))
+                else:
+                    self.dma_reads += 1
+                    # B-apps' bulk reads are split to 64 KB like their
+                    # writes, so a channel suspension never wastes a
+                    # large in-flight transfer (§4.4).
+                    descs = [DmaDescriptor(chunk, write=False,
+                                           tag=("r", m.ino))
+                             for chunk in self.cm.split(ctx.app, run_bytes)]
+                    for i in range(0, len(descs), self.model.dma_batch_max):
+                        yield from ctx.timed_cpu(
+                            "memcpy",
+                            channel.submit(descs[i:i + self.model.dma_batch_max]))
+                    pending_descs.extend(descs)
+            # Reads only touch timestamps; commit and unlock immediately
+            # -- later writes may start while our DMA is in flight (CoW
+            # plus deferred page recycling keep the data stable).
+            yield from ctx.charge("metadata", self.model.timestamp_update_cost)
+            value = (self._collect_data(m, offset, nbytes)
+                     if want_data else nbytes)
+        finally:
+            m.lock.release_read()
+        pending = self._pending_event(pending_descs) if pending_descs else None
+        return OpResult(value=value, pending=pending, ctx=ctx)
+
+
+class NaiveAsyncFS(EasyIoFS):
+    """The §6.4 ablation: asynchronous offload, strictly ordered.
+
+    Data and metadata updates are split into two syscalls: the first
+    submits the DMA and *keeps the file locked*; once the completion
+    arrives, the runtime issues the second syscall, which commits the
+    metadata and only then unlocks.  Intermediate scheduling between
+    the two prolongs the critical section (Figure 11) and -- without
+    the care the paper describes -- risks deadlock (§3).
+    """
+
+    name = "Naive"
+
+    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
+                      nbytes: int, payload: Optional[bytes]):
+        yield from self._charge_lock_contention(ctx)
+        prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
+        if not self.cm.should_offload_write(nbytes):
+            try:
+                self.memcpy_writes += 1
+                for run_bytes in prep.run_sizes:
+                    yield from ctx.timed_cpu(
+                        "memcpy", self.memory.cpu_copy(run_bytes, write=True,
+                                                       tag=("w", m.ino)))
+                self._persist_pages(prep)
+                yield from self._commit_write(ctx, m, prep, sns=())
+            finally:
+                m.lock.release_write()
+            return OpResult(value=nbytes, ctx=ctx)
+        self.dma_writes += 1
+        descs, _channel = yield from self._submit_write_dma(ctx, m, prep)
+        pending = self._pending_event(descs)
+
+        def commit_syscall(ctx2: OpContext):
+            # Second interaction with the filesystem (§3): metadata
+            # commit once the data I/O has finished.
+            yield from ctx2.charge("syscall", self.model.syscall_cost)
+            try:
+                yield from self._commit_write(ctx2, m, prep, sns=())
+            finally:
+                m.lock.release_write()
+            return nbytes
+
+        # NOTE: the level-1 lock stays held across the asynchronous gap.
+        return OpResult(value=nbytes, pending=pending, ctx=ctx,
+                        continuation=commit_syscall)
+
+
+def _contiguous_runs(page_ids, contents) -> List[Tuple[list, list]]:
+    """Group (page_ids, contents) into physically contiguous runs."""
+    runs: List[Tuple[list, list]] = []
+    cur_ids: list = []
+    cur_contents: list = []
+    for pid, content in zip(page_ids, contents):
+        if cur_ids and pid != cur_ids[-1] + 1:
+            runs.append((cur_ids, cur_contents))
+            cur_ids, cur_contents = [], []
+        cur_ids.append(pid)
+        cur_contents.append(content)
+    if cur_ids:
+        runs.append((cur_ids, cur_contents))
+    return runs

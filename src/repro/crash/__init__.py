@@ -1,0 +1,9 @@
+"""Crash-consistency testing (CrashMonkey-style, §6.5 / Table 2)."""
+
+from repro.crash.crashmonkey import (
+    CRASH_WORKLOADS,
+    CrashReport,
+    run_crash_test,
+)
+
+__all__ = ["CRASH_WORKLOADS", "CrashReport", "run_crash_test"]

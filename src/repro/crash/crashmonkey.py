@@ -1,0 +1,271 @@
+"""Black-box crash-consistency testing in the style of CrashMonkey [59].
+
+The paper's Table 2 runs four workloads covering the error-prone
+syscalls (create, write, link, rename, delete) and injects 1000 crash
+points into each, then checks that recovery lands in a legal state.
+
+Methodology here (equivalent to CrashMonkey's record/replay model):
+
+1. Run the workload on a *recording* PM image; every durable store is
+   journalled in persist order.  Ops are serialized, and the oracle
+   snapshots the expected logical state after each op, together with
+   the op's [first, last] mutation indices.
+2. A crash at point *k* is "replay the first *k* mutations into a
+   fresh image" -- exactly a power failure between two 8-byte-atomic
+   persists.  Recover the filesystem from it (EasyIO recovery validates
+   write SNs against the persistent completion buffers).
+3. The recovered state (names, sizes, *and file contents*) must equal
+   the oracle state after op *i* for some i between "ops fully durable
+   by k" and "ops started by k" -- i.e. each op must be atomic and
+   ops must become durable in order.
+
+This directly exercises EasyIO's dangerous window: metadata committed
+before the DMA'd data landed.  Recovery must discard such entries (the
+SN rule), or the content check fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fs.recovery import completion_buffer_validator, recover
+from repro.fs.structures import FileKind
+from repro.hw.platform import Platform, PlatformConfig
+from repro.workloads.factory import make_fs
+
+Snapshot = Dict[str, Tuple]
+
+
+def _content_hash(fs, m) -> str:
+    """Digest of a file's logical content (from its page index)."""
+    hasher = hashlib.sha1()
+    hasher.update(str(m.size).encode())
+    data = fs._collect_data(m, 0, m.size)
+    hasher.update(data)
+    return hasher.hexdigest()
+
+
+def snapshot_with_content(fs) -> Snapshot:
+    """{path: ("dir"|"file", size, content-digest)} for the whole tree."""
+    out: Snapshot = {}
+
+    def walk(ino: int, prefix: str):
+        m = fs._mem.get(ino)
+        if m is None:
+            return
+        for name, child_ino in sorted(m.dentries.items()):
+            child = fs._mem.get(child_ino)
+            if child is None:
+                continue
+            path = f"{prefix}/{name}"
+            if child.kind is FileKind.DIR:
+                out[path] = ("dir", 0, None)
+                walk(child_ino, path)
+            else:
+                out[path] = ("file", child.size, _content_hash(fs, child))
+
+    walk(0, "")
+    return out
+
+
+def _settle(fs, result):
+    """Wait out an async op and run its deferred commit syscall, if any
+    (the Naive ablation commits metadata in a second syscall)."""
+    if result.is_async:
+        yield result.pending
+    continuation = getattr(result, "continuation", None)
+    if continuation is not None:
+        ctx = fs.context(record=False)
+        yield from continuation(ctx)
+
+
+def _payload(tag: int, nbytes: int) -> bytes:
+    """Deterministic, tag-distinguishable file content."""
+    unit = (f"{tag:08x}".encode() * ((nbytes // 8) + 1))[:nbytes]
+    return unit
+
+
+# ----------------------------------------------------------------------
+# The four Table-2 workloads
+# ----------------------------------------------------------------------
+def _wl_create_delete(fs, iterations: int):
+    """create, write, remove on regular files."""
+    for i in range(iterations):
+        ctx = fs.context(record=False)
+        ino = yield from fs.create(ctx, f"/cd{i}")
+        yield ("op",)
+        result = yield from fs.write(fs.context(record=False), ino, 0,
+                                     12288, _payload(i, 12288))
+        yield from _settle(fs, result)
+        yield ("op",)
+        if i >= 2:
+            yield from fs.unlink(fs.context(record=False), f"/cd{i - 2}")
+            yield ("op",)
+
+
+def _wl_generic_056(fs, iterations: int):
+    """create, write, link on regular files."""
+    for i in range(iterations):
+        ino = yield from fs.create(fs.context(record=False), f"/a{i}")
+        yield ("op",)
+        result = yield from fs.write(fs.context(record=False), ino, 0,
+                                     8192, _payload(i, 8192))
+        yield from _settle(fs, result)
+        yield ("op",)
+        yield from fs.link(fs.context(record=False), f"/a{i}", f"/b{i}")
+        yield ("op",)
+
+
+def _wl_generic_090(fs, iterations: int):
+    """write, append, link on regular files."""
+    ino = yield from fs.create(fs.context(record=False), "/g090")
+    yield ("op",)
+    for i in range(iterations):
+        result = yield from fs.write(fs.context(record=False), ino,
+                                     0, 8192, _payload(i, 8192))
+        yield from _settle(fs, result)
+        yield ("op",)
+        result = yield from fs.append(fs.context(record=False), ino,
+                                      4096, _payload(i ^ 0xFF, 4096))
+        yield from _settle(fs, result)
+        yield ("op",)
+        if i % 4 == 0:
+            yield from fs.link(fs.context(record=False), "/g090", f"/l{i}")
+            yield ("op",)
+
+
+def _wl_generic_322(fs, iterations: int):
+    """create, write, rename on regular files."""
+    for i in range(iterations):
+        ino = yield from fs.create(fs.context(record=False), f"/t{i}")
+        yield ("op",)
+        result = yield from fs.write(fs.context(record=False), ino, 0,
+                                     16384, _payload(i, 16384))
+        yield from _settle(fs, result)
+        yield ("op",)
+        yield from fs.rename(fs.context(record=False), f"/t{i}", f"/r{i}")
+        yield ("op",)
+
+
+#: Table 2's workloads: name -> (description, driver, iterations).
+CRASH_WORKLOADS: Dict[str, Tuple[str, Callable, int]] = {
+    "create_delete": ("create, write, remove on regular files",
+                      _wl_create_delete, 90),
+    "generic_056": ("create, write, link on regular files",
+                    _wl_generic_056, 90),
+    "generic_090": ("write, append, link on regular files",
+                    _wl_generic_090, 100),
+    "generic_322": ("create, write, rename on regular files",
+                    _wl_generic_322, 80),
+}
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one workload's crash sweep."""
+
+    workload: str
+    kind: str
+    total_crash_points: int
+    passed: int
+    failures: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total_crash_points
+
+
+def _record_workload(kind: str, driver: Callable, iterations: int):
+    """Run the workload once, recording mutations and the op oracle."""
+    platform = Platform(PlatformConfig.single_node())
+    fs = make_fs(kind, platform, record=True)
+    image = fs.image
+    # oracle[i] = (start_idx, end_idx, snapshot after op i)
+    oracle: List[Tuple[int, int, Snapshot]] = []
+
+    def runner():
+        start = len(image.mutations)
+        gen = driver(fs, iterations)
+        while True:
+            try:
+                marker = yield from _drive_until_marker(gen)
+            except StopIteration:
+                break
+            if marker is None:
+                break
+            end = len(image.mutations)
+            oracle.append((start, end, snapshot_with_content(fs)))
+            start = end
+
+    def _drive_until_marker(gen):
+        """Advance the workload generator to its next ("op",) marker."""
+        while True:
+            try:
+                item = next(gen)
+            except StopIteration:
+                return None
+            if isinstance(item, tuple) and item and item[0] == "op":
+                return item
+            # Any other yield is a simulation event: wait for it.
+            yield item
+
+    proc = platform.engine.process(runner())
+    platform.engine.run()
+    if proc.is_alive:
+        raise RuntimeError(f"crash workload stalled (deadlock?) on {kind}")
+    if not proc.ok:
+        raise proc.value
+    return image, oracle
+
+
+def run_crash_test(kind: str, workload: str,
+                   crash_points: int = 1000) -> CrashReport:
+    """Inject ``crash_points`` crashes into one workload and check
+    every recovery (the Table 2 experiment)."""
+    desc, driver, iterations = CRASH_WORKLOADS[workload]
+    image, oracle = _record_workload(kind, driver, iterations)
+    total = image.crash_points()
+    if total < 2:
+        raise RuntimeError(f"workload {workload} produced no mutations")
+    # Spread the requested crash points evenly over the mutation log.
+    n = min(crash_points, total + 1)
+    points = sorted({round(j * total / (n - 1)) for j in range(n)}) \
+        if n > 1 else [total]
+
+    report = CrashReport(workload=workload, kind=kind,
+                         total_crash_points=len(points), passed=0)
+    validator_needed = kind in ("easyio", "naive")
+    empty_snapshot: Snapshot = {}
+    for k in points:
+        img = image.replay(k)
+        platform = Platform(PlatformConfig.single_node())
+        fs2 = make_fs_on_image(kind, platform, img)
+        validator = (completion_buffer_validator(img)
+                     if validator_needed else None)
+        recover(fs2, validator)
+        snap = snapshot_with_content(fs2)
+        durable = sum(1 for (_s, e, _sn) in oracle if e <= k)
+        started = sum(1 for (s, _e, _sn) in oracle if s <= k)
+        candidates = [empty_snapshot if i == 0 else oracle[i - 1][2]
+                      for i in range(durable, started + 1)]
+        if any(snap == c for c in candidates):
+            report.passed += 1
+        else:
+            report.failures.append(
+                (k, f"recovered state matches none of ops "
+                    f"[{durable}, {started}]"))
+    return report
+
+
+def make_fs_on_image(kind: str, platform: Platform, image):
+    """Construct (without mounting) the named filesystem over ``image``."""
+    from repro.baselines.nova_dma import NovaDmaFS
+    from repro.baselines.odinfs import OdinfsFS
+    from repro.core.easyio import EasyIoFS, NaiveAsyncFS
+    from repro.fs.nova import NovaFS
+
+    classes = {"nova": NovaFS, "nova-dma": NovaDmaFS, "odinfs": OdinfsFS,
+               "easyio": EasyIoFS, "naive": NaiveAsyncFS}
+    return classes[kind](platform, image)

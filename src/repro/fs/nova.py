@@ -1,0 +1,681 @@
+"""NOVA-like log-structured persistent-memory filesystem.
+
+This is the synchronous baseline the paper modifies (§5): per-inode
+metadata logs with an atomic tail-pointer commit, copy-on-write data
+pages, a lightweight journal for multi-inode operations (rename), and
+DAX-style direct data movement (no page cache).
+
+Every operation is a simulation coroutine (``yield from fs.write(...)``)
+that charges calibrated CPU costs phase by phase, so the Figure 1
+latency breakdown (metadata / memcpy / indexing / syscall & VFS) falls
+out of instrumentation rather than estimation.
+
+Subclasses override the *data movement* hooks (`_write_locked`,
+`_read_extents`) to become NOVA-DMA, Odinfs, or EasyIO; the metadata
+formats and namespace operations are shared -- mirroring the paper's
+claim that EasyIO needs <50 changed lines in NOVA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fs.alloc import PageAllocator
+from repro.fs.pmimage import ELIDED, PMImage
+from repro.fs.structures import (
+    PAGE_SIZE,
+    DentryEntry,
+    FileKind,
+    Inode,
+    MemInode,
+    PageMapping,
+    RenameTxn,
+    SetAttrEntry,
+    WriteEntry,
+)
+from repro.hw.params import CostModel
+from repro.hw.platform import Platform
+from repro.sim import Event, RWLock
+
+ROOT_INO = 0
+
+
+class FsError(Exception):
+    """Filesystem-level error (ENOENT, EEXIST, ...)."""
+
+
+class OpContext:
+    """Per-operation accounting context.
+
+    Tracks the latency breakdown by phase (Figure 1's categories) and
+    the CPU time the operation consumed -- which differs from its
+    latency exactly when data movement is offloaded (the EasyIO-CPU
+    series in Figure 8).
+    """
+
+    PHASES = ("metadata", "memcpy", "indexing", "syscall", "wait")
+
+    def __init__(self, platform: Platform, core=None, record: bool = True):
+        self.platform = platform
+        self.engine = platform.engine
+        self.core = core
+        self.record = record
+        self.breakdown: Dict[str, int] = {p: 0 for p in self.PHASES}
+        self.cpu_ns = 0
+        self.started_at = self.engine.now
+        #: The issuing application's profile (QoS class), if any.
+        self.app = None
+        #: Waiters racing for the file lock at acquire time (set by
+        #: _acquire_file_lock, consumed by _charge_lock_contention).
+        self.lock_racing = 0
+
+    def charge(self, phase: str, ns: int):
+        """Burn ``ns`` of CPU time attributed to ``phase``."""
+        if ns > 0:
+            yield self.engine.timeout(ns)
+            if self.record:
+                self.breakdown[phase] += ns
+            self.cpu_ns += ns
+
+    def timed_cpu(self, phase: str, gen):
+        """Run a sub-generator whose elapsed time is CPU time (memcpy)."""
+        t0 = self.engine.now
+        result = yield from gen
+        elapsed = self.engine.now - t0
+        if self.record:
+            self.breakdown[phase] += elapsed
+        self.cpu_ns += elapsed
+        return result
+
+    def idle_wait(self, event: Event):
+        """Wait on an event without consuming CPU (kernel sleep)."""
+        if self.core is not None and self.core.busy:
+            self.core.mark_idle()
+            value = yield event
+            self.core.mark_busy()
+        else:
+            value = yield event
+        return value
+
+    @property
+    def latency(self) -> int:
+        """Nanoseconds since the operation started."""
+        return self.engine.now - self.started_at
+
+
+@dataclass
+class OpResult:
+    """What a filesystem operation returns.
+
+    ``pending`` is None for synchronous filesystems; EasyIO returns the
+    event that fires when the offloaded data movement completes, plus
+    the SNs the caller can poll in the exported completion buffers.
+    """
+
+    value: Any = None
+    pending: Optional[Event] = None
+    sns: Tuple[Tuple[int, int], ...] = ()
+    ctx: Optional[OpContext] = None
+    #: Second-syscall factory (``make(ctx) -> coroutine``) the runtime
+    #: must run once ``pending`` fires -- only the Naive ablation uses
+    #: this (its metadata commit is a separate syscall, §6.4).
+    continuation: Optional[Any] = None
+
+    @property
+    def is_async(self) -> bool:
+        return self.pending is not None and not self.pending.triggered
+
+
+class NovaFS:
+    """The synchronous NOVA baseline (CPU memcpy data path)."""
+
+    name = "NOVA"
+
+    def __init__(self, platform: Platform, image: Optional[PMImage] = None):
+        self.platform = platform
+        self.engine = platform.engine
+        self.model: CostModel = platform.model
+        self.memory = platform.memory
+        self.image = image if image is not None else PMImage()
+        self.allocator = PageAllocator(self.image)
+        self._mem: Dict[int, MemInode] = {}
+        self.ops_completed = 0
+        self._mounted = False
+
+    # ------------------------------------------------------------------
+    # Mount / volatile state
+    # ------------------------------------------------------------------
+    def mount(self) -> "NovaFS":
+        """Create (or adopt) the root directory and go live."""
+        if ROOT_INO not in self.image.inodes:
+            root = Inode(ROOT_INO, FileKind.DIR, links=2, ctime=self.engine.now)
+            self.image.put_inode(ROOT_INO, root)
+            self.image.next_ino = max(self.image.next_ino, 1)
+        self._mem[ROOT_INO] = self._fresh_mem(ROOT_INO, FileKind.DIR, links=2)
+        self._mounted = True
+        return self
+
+    def _fresh_mem(self, ino: int, kind: FileKind, links: int = 1) -> MemInode:
+        m = MemInode(ino=ino, kind=kind, links=links)
+        m.lock = RWLock(self.engine, name=f"ino{ino}")
+        return m
+
+    def minode(self, ino: int) -> MemInode:
+        """Volatile inode state; raises if the inode does not exist."""
+        m = self._mem.get(ino)
+        if m is None:
+            raise FsError(f"no such inode: {ino}")
+        return m
+
+    def context(self, core=None, record: bool = True) -> OpContext:
+        """Create the accounting context for one operation."""
+        return OpContext(self.platform, core=core, record=record)
+
+    # ------------------------------------------------------------------
+    # Path resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise FsError(f"invalid path: {path!r}")
+        return parts
+
+    def _resolve_dir(self, ctx: OpContext, parts: List[str]) -> MemInode:
+        """Walk all but the last component; returns the parent directory."""
+        cur = self.minode(ROOT_INO)
+        for name in parts[:-1]:
+            yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+            child = cur.dentries.get(name)
+            if child is None:
+                raise FsError(f"no such directory: {name!r}")
+            cur = self.minode(child)
+            if cur.kind is not FileKind.DIR:
+                raise FsError(f"not a directory: {name!r}")
+        return cur
+
+    def lookup(self, ctx: OpContext, path: str):
+        """Resolve a path to an inode number (coroutine)."""
+        parts = self._split(path)
+        parent = yield from self._resolve_dir(ctx, parts)
+        yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+        ino = parent.dentries.get(parts[-1])
+        if ino is None:
+            raise FsError(f"no such file: {path!r}")
+        return ino
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+    def create(self, ctx: OpContext, path: str, kind: FileKind = FileKind.FILE):
+        """Create a file (or directory); returns its inode number."""
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        parts = self._split(path)
+        parent = yield from self._resolve_dir(ctx, parts)
+        name = parts[-1]
+        yield from ctx.idle_wait(parent.lock.acquire_write())
+        try:
+            yield from ctx.charge("syscall", self.model.lock_cost)
+            if name in parent.dentries:
+                raise FsError(f"already exists: {path!r}")
+            ino = self.image.alloc_ino()
+            links = 2 if kind is FileKind.DIR else 1
+            yield from ctx.charge("metadata", self.model.log_append_cost)
+            self.image.put_inode(ino, Inode(ino, kind, links, self.engine.now))
+            yield from self._append_commit(
+                ctx, parent,
+                DentryEntry(name, ino, kind, valid=True, mtime=self.engine.now))
+            parent.dentries[name] = ino
+            parent.mtime = self.engine.now
+            self._mem[ino] = self._fresh_mem(ino, kind, links)
+        finally:
+            parent.lock.release_write()
+        self.ops_completed += 1
+        return ino
+
+    def mkdir(self, ctx: OpContext, path: str):
+        """Create a directory; returns its inode number."""
+        ino = yield from self.create(ctx, path, kind=FileKind.DIR)
+        return ino
+
+    def unlink(self, ctx: OpContext, path: str):
+        """Remove a name; frees the inode when its link count drops to 0."""
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        parts = self._split(path)
+        parent = yield from self._resolve_dir(ctx, parts)
+        name = parts[-1]
+        yield from ctx.idle_wait(parent.lock.acquire_write())
+        try:
+            yield from ctx.charge("syscall", self.model.lock_cost)
+            ino = parent.dentries.get(name)
+            if ino is None:
+                raise FsError(f"no such file: {path!r}")
+            target = self.minode(ino)
+            yield from self._append_commit(
+                ctx, parent,
+                DentryEntry(name, ino, target.kind, valid=False,
+                            mtime=self.engine.now))
+            del parent.dentries[name]
+            parent.mtime = self.engine.now
+            target.links -= 1
+            if target.links <= 0 or (target.kind is FileKind.DIR
+                                     and target.links <= 1):
+                yield from self._drop_inode(ctx, target)
+            else:
+                yield from ctx.charge("metadata", self.model.log_append_cost)
+                self.image.put_inode(ino, Inode(ino, target.kind, target.links,
+                                                self.engine.now))
+        finally:
+            parent.lock.release_write()
+        self.ops_completed += 1
+
+    def link(self, ctx: OpContext, existing: str, new: str):
+        """Hard-link ``existing`` at ``new``."""
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        ino = yield from self.lookup(ctx, existing)
+        target = self.minode(ino)
+        if target.kind is FileKind.DIR:
+            raise FsError("cannot hard-link a directory")
+        parts = self._split(new)
+        parent = yield from self._resolve_dir(ctx, parts)
+        name = parts[-1]
+        yield from ctx.idle_wait(parent.lock.acquire_write())
+        try:
+            if name in parent.dentries:
+                raise FsError(f"already exists: {new!r}")
+            yield from self._append_commit(
+                ctx, parent,
+                DentryEntry(name, ino, target.kind, valid=True,
+                            mtime=self.engine.now))
+            parent.dentries[name] = ino
+            target.links += 1
+            yield from ctx.charge("metadata", self.model.log_append_cost)
+            self.image.put_inode(ino, Inode(ino, target.kind, target.links,
+                                            self.engine.now))
+        finally:
+            parent.lock.release_write()
+        self.ops_completed += 1
+
+    def rename(self, ctx: OpContext, old: str, new: str):
+        """Atomically move ``old`` to ``new`` (journaled, NOVA-style)."""
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        old_parts, new_parts = self._split(old), self._split(new)
+        src_dir = yield from self._resolve_dir(ctx, old_parts)
+        dst_dir = yield from self._resolve_dir(ctx, new_parts)
+        src_name, dst_name = old_parts[-1], new_parts[-1]
+        # Lock in inode order to avoid ABBA deadlocks.
+        inos = sorted({src_dir.ino, dst_dir.ino})
+        first, second = inos[0], inos[-1]
+        yield from ctx.idle_wait(self.minode(first).lock.acquire_write())
+        if second != first:
+            yield from ctx.idle_wait(self.minode(second).lock.acquire_write())
+        try:
+            ino = src_dir.dentries.get(src_name)
+            if ino is None:
+                raise FsError(f"no such file: {old!r}")
+            target = self.minode(ino)
+            yield from ctx.charge("metadata", self.model.journal_cost)
+            self.image.journal_begin(RenameTxn(src_dir.ino, src_name,
+                                               dst_dir.ino, dst_name,
+                                               ino, target.kind))
+            replaced = dst_dir.dentries.get(dst_name)
+            yield from self._append_commit(
+                ctx, dst_dir,
+                DentryEntry(dst_name, ino, target.kind, valid=True,
+                            mtime=self.engine.now))
+            dst_dir.dentries[dst_name] = ino
+            yield from self._append_commit(
+                ctx, src_dir,
+                DentryEntry(src_name, ino, target.kind, valid=False,
+                            mtime=self.engine.now))
+            del src_dir.dentries[src_name]
+            self.image.journal_end()
+            if replaced is not None and replaced != ino:
+                victim = self.minode(replaced)
+                victim.links -= 1
+                if victim.links <= 0:
+                    yield from self._drop_inode(ctx, victim)
+        finally:
+            if second != first:
+                self.minode(second).lock.release_write()
+            self.minode(first).lock.release_write()
+        self.ops_completed += 1
+
+    def stat(self, ctx: OpContext, path: str):
+        """Return ``(ino, kind, size, mtime, links)``."""
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        ino = yield from self.lookup(ctx, path)
+        m = self.minode(ino)
+        yield from ctx.charge("metadata", self.model.timestamp_update_cost)
+        return (m.ino, m.kind, m.size, m.mtime, m.links)
+
+    def truncate(self, ctx: OpContext, ino: int, size: int):
+        """Set the file size, dropping whole pages beyond it."""
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        m = self.minode(ino)
+        yield from ctx.idle_wait(m.lock.acquire_write())
+        try:
+            yield from self._wait_level2(ctx, m)
+            yield from self._append_commit(
+                ctx, m, SetAttrEntry(size=size, mtime=self.engine.now))
+            first_dead = (size + PAGE_SIZE - 1) // PAGE_SIZE
+            dead = [off for off in m.index if off >= first_dead]
+            freed = [m.index.pop(off).page_id for off in dead]
+            self.allocator.free(freed)
+            m.size = size
+            m.mtime = self.engine.now
+        finally:
+            m.lock.release_write()
+        self.ops_completed += 1
+
+    def _drop_inode(self, ctx: OpContext, m: MemInode):
+        yield from ctx.charge("metadata", self.model.log_append_cost)
+        self.allocator.free([pm.page_id for pm in m.index.values()])
+        self.image.drop_inode(m.ino)
+        self._mem.pop(m.ino, None)
+
+    def _append_commit(self, ctx: OpContext, m: MemInode, entry) :
+        """Append one log entry and commit the tail (the durability point)."""
+        yield from ctx.charge("metadata", self.model.log_append_cost)
+        idx = self.image.append_log(m.ino, entry)
+        yield from ctx.charge("metadata", self.model.log_commit_cost)
+        self.image.commit_log_tail(m.ino, idx + 1)
+        return idx
+
+    # ------------------------------------------------------------------
+    # Data path: write
+    # ------------------------------------------------------------------
+    def write(self, ctx: OpContext, ino: int, offset: int, nbytes: int,
+              payload: Optional[bytes] = None):
+        """Write ``nbytes`` at ``offset``; returns an :class:`OpResult`.
+
+        ``payload`` may be omitted for performance runs (page contents
+        are then elided); when given it must be exactly ``nbytes`` long
+        and read-back verification works end to end.
+        """
+        if payload is not None and len(payload) != nbytes:
+            raise FsError(f"payload length {len(payload)} != nbytes {nbytes}")
+        if nbytes < 0 or offset < 0:
+            raise FsError("negative offset/size")
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+        m = self.minode(ino)
+        if m.kind is not FileKind.FILE:
+            raise FsError(f"not a regular file: inode {ino}")
+        if nbytes == 0:
+            return OpResult(value=0, ctx=ctx)
+        yield from self._acquire_file_lock(ctx, m, write=True)
+        result = yield from self._write_locked(ctx, m, offset, nbytes, payload)
+        self.ops_completed += 1
+        return result
+
+    def append(self, ctx: OpContext, ino: int, nbytes: int,
+               payload: Optional[bytes] = None):
+        """Write at end-of-file (offset resolved under the lock is not
+        needed for the single-writer workloads we model)."""
+        m = self.minode(ino)
+        result = yield from self.write(ctx, m.ino, m.size, nbytes, payload)
+        return result
+
+    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
+                      nbytes: int, payload: Optional[bytes]):
+        """Synchronous NOVA: CoW copy via CPU, then commit, then unlock."""
+        try:
+            yield from self._charge_lock_contention(ctx)
+            prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
+            # Data pages first (strict order): CPU memcpy into PM.
+            for run_bytes in prep.run_sizes:
+                yield from ctx.timed_cpu(
+                    "memcpy", self.memory.cpu_copy(run_bytes, write=True,
+                                                   tag=("w", m.ino)))
+            self._persist_pages(prep)
+            # ...then the metadata commit.
+            yield from self._commit_write(ctx, m, prep, sns=())
+        finally:
+            m.lock.release_write()
+        return OpResult(value=nbytes, ctx=ctx)
+
+    # -- shared CoW machinery -------------------------------------------
+    @dataclass
+    class _CowPrep:
+        pgoff: int
+        page_ids: List[int]
+        contents: List[Any]
+        old_pages: List[int]
+        size_after: int
+        run_sizes: List[int]
+        nbytes: int
+        offset: int
+
+    def _prepare_cow(self, ctx: OpContext, m: MemInode, offset: int,
+                     nbytes: int, payload: Optional[bytes]):
+        """Allocate CoW pages and compute their new contents.
+
+        Partial head/tail pages cost an extra CPU copy of the preserved
+        region (NOVA must merge old data into the fresh CoW page).
+        """
+        pgoff = offset // PAGE_SIZE
+        last = (offset + nbytes - 1) // PAGE_SIZE
+        npages = last - pgoff + 1
+        yield from ctx.charge(
+            "metadata",
+            self.model.block_alloc_cost
+            + self.model.block_alloc_page_cost * npages)
+        page_ids = self.allocator.allocate(npages)
+        head_cut = offset - pgoff * PAGE_SIZE
+        tail_cut = (pgoff + npages) * PAGE_SIZE - (offset + nbytes)
+        # Merge cost for partially overwritten edge pages.
+        merge_bytes = 0
+        if head_cut and m.index.get(pgoff) is not None:
+            merge_bytes += head_cut
+        if tail_cut and m.index.get(last) is not None:
+            merge_bytes += tail_cut
+        if merge_bytes:
+            yield from ctx.timed_cpu(
+                "memcpy", self.memory.cpu_copy(merge_bytes, write=True,
+                                               tag=("merge", m.ino)))
+        contents: List[Any] = []
+        if payload is None:
+            contents = [ELIDED] * npages
+        else:
+            for i in range(npages):
+                page_start = (pgoff + i) * PAGE_SIZE
+                old = self._old_page_content(m, pgoff + i)
+                lo = max(offset, page_start) - page_start
+                hi = min(offset + nbytes, page_start + PAGE_SIZE) - page_start
+                data_lo = page_start + lo - offset
+                new = bytearray(old)
+                new[lo:hi] = payload[data_lo:data_lo + (hi - lo)]
+                contents.append(bytes(new))
+        old_pages = [m.index[off].page_id
+                     for off in range(pgoff, pgoff + npages) if off in m.index]
+        # One copy per physically contiguous run of new pages; freshly
+        # allocated runs are contiguous unless the recycler fragmented
+        # them -- model one run per fragment.
+        run_sizes: List[int] = []
+        run = 0
+        prev = None
+        for pid in page_ids:
+            if prev is not None and pid != prev + 1 and run:
+                run_sizes.append(run)
+                run = 0
+            run += PAGE_SIZE
+            prev = pid
+        if run:
+            run_sizes.append(run)
+        # The edge pages move fewer payload bytes, but the CoW copy
+        # still writes whole pages (merge + payload), so run_sizes stays
+        # page-granular -- matching NOVA's page-granularity CoW cost.
+        size_after = max(m.size, offset + nbytes)
+        return self._CowPrep(pgoff, page_ids, contents, old_pages,
+                             size_after, run_sizes, nbytes, offset)
+
+    def _old_page_content(self, m: MemInode, off: int) -> bytes:
+        mapping = m.index.get(off)
+        if mapping is None:
+            return bytes(PAGE_SIZE)
+        data = self.image.pages.get(mapping.page_id)
+        if data is ELIDED or data is None:
+            return bytes(PAGE_SIZE)
+        return data
+
+    def _persist_pages(self, prep: "_CowPrep") -> None:
+        """Record the new page contents as durable (data landed)."""
+        for pid, content in zip(prep.page_ids, prep.contents):
+            self.image.write_page(pid, content)
+
+    def _commit_write(self, ctx: OpContext, m: MemInode, prep: "_CowPrep",
+                      sns: Tuple[Tuple[int, int], ...],
+                      free_on: Optional[Event] = None):
+        """Append + commit the WriteEntry and update volatile state.
+
+        ``free_on``: for asynchronous writes, the replaced CoW pages may
+        only be recycled once the DMA has landed -- recovery falls back
+        to them if it must discard the new mapping (§4.2).  Passing the
+        pending completion event defers the free accordingly.
+        """
+        entry = WriteEntry(pgoff=prep.pgoff, page_ids=tuple(prep.page_ids),
+                           size_after=prep.size_after, mtime=self.engine.now,
+                           sns=sns)
+        yield from self._append_commit(ctx, m, entry)
+        yield from ctx.charge("indexing",
+                              self.model.index_insert_cost * len(prep.page_ids))
+        for i, pid in enumerate(prep.page_ids):
+            m.index[prep.pgoff + i] = PageMapping(pid, sns)
+        m.size = prep.size_after
+        m.mtime = entry.mtime
+        if free_on is None or free_on.processed:
+            self.allocator.free(prep.old_pages)
+        else:
+            old = prep.old_pages
+            free_on.add_callback(lambda _e: self.allocator.free(old))
+        return entry
+
+    # ------------------------------------------------------------------
+    # Data path: read
+    # ------------------------------------------------------------------
+    def read(self, ctx: OpContext, ino: int, offset: int, nbytes: int,
+             want_data: bool = False):
+        """Read up to ``nbytes`` at ``offset``; returns an :class:`OpResult`
+        whose value is the byte count (or the bytes, if ``want_data``)."""
+        if nbytes < 0 or offset < 0:
+            raise FsError("negative offset/size")
+        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+        m = self.minode(ino)
+        if m.kind is not FileKind.FILE:
+            raise FsError(f"not a regular file: inode {ino}")
+        yield from self._acquire_file_lock(ctx, m, write=False)
+        token = self.allocator.reader_enter()
+        try:
+            result = yield from self._read_locked(ctx, m, offset, nbytes,
+                                                  want_data)
+        except BaseException:
+            self.allocator.reader_exit(token)
+            raise
+        # An asynchronous read's source pages stay pinned until the DMA
+        # drains; only then may CoW-replaced pages be recycled.
+        if result.is_async:
+            result.pending.add_callback(
+                lambda _e: self.allocator.reader_exit(token))
+        else:
+            self.allocator.reader_exit(token)
+        self.ops_completed += 1
+        return result
+
+    def _read_locked(self, ctx: OpContext, m: MemInode, offset: int,
+                     nbytes: int, want_data: bool):
+        # Level-2 conflict check (no-op for synchronous filesystems):
+        # an earlier write whose DMA is still in flight blocks us.
+        yield from self._wait_level2(ctx, m)
+        nbytes = max(0, min(nbytes, m.size - offset))
+        if nbytes == 0:
+            m.lock.release_read()
+            return OpResult(value=b"" if want_data else 0, ctx=ctx)
+        pgoff = offset // PAGE_SIZE
+        last = (offset + nbytes - 1) // PAGE_SIZE
+        npages = last - pgoff + 1
+        yield from ctx.charge("indexing", self.model.index_lookup_cost * npages)
+        runs = [(off, pages) for off, pages in m.extent_runs(pgoff, npages)]
+        result = yield from self._read_extents(ctx, m, offset, nbytes, runs,
+                                               want_data)
+        return result
+
+    def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
+                      nbytes: int, runs, want_data: bool):
+        """Synchronous NOVA: one CPU memcpy per contiguous extent."""
+        try:
+            for _off, pages in runs:
+                if pages:
+                    yield from ctx.timed_cpu(
+                        "memcpy", self.memory.cpu_copy(len(pages) * PAGE_SIZE,
+                                                       write=False,
+                                                       tag=("r", m.ino)))
+            yield from ctx.charge("metadata", self.model.timestamp_update_cost)
+            value = (self._collect_data(m, offset, nbytes)
+                     if want_data else nbytes)
+        finally:
+            m.lock.release_read()
+        return OpResult(value=value, ctx=ctx)
+
+    def _collect_data(self, m: MemInode, offset: int, nbytes: int) -> bytes:
+        """Materialise the read's bytes from the current page contents."""
+        out = bytearray()
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            off = pos // PAGE_SIZE
+            in_page = pos - off * PAGE_SIZE
+            take = min(PAGE_SIZE - in_page, end - pos)
+            page = self._old_page_content(m, off)
+            out += page[in_page:in_page + take]
+            pos += take
+        return bytes(out)
+
+    def _acquire_file_lock(self, ctx: OpContext, m: MemInode, write: bool):
+        """Take the level-1 file lock, charging contention costs.
+
+        A contended acquire pays for the handoff plus cacheline
+        bouncing proportional to the number of racing waiters -- the
+        effect that makes DWOM throughput decline as writers are added.
+        """
+        t0 = self.engine.now
+        event = (m.lock.acquire_write() if write else m.lock.acquire_read())
+        racing = m.lock.queued
+        yield from ctx.idle_wait(event)
+        yield from ctx.charge("syscall", self.model.lock_cost)
+        contended = (self.engine.now > t0) or racing
+        ctx.lock_racing = max(1, racing) if contended else 0
+
+    def _charge_lock_contention(self, ctx: OpContext):
+        """Pay the contended-handoff cost on the holder's critical path
+        (first touches of the bounced metadata cachelines)."""
+        if ctx.lock_racing:
+            yield from ctx.charge(
+                "syscall", self.model.lock_contended_cost * ctx.lock_racing)
+            ctx.lock_racing = 0
+
+    # ------------------------------------------------------------------
+    # Hooks EasyIO overrides
+    # ------------------------------------------------------------------
+    def _wait_level2(self, ctx: OpContext, m: MemInode):
+        """Level-2 lock check; synchronous filesystems never have
+        pending data movement, so this is a no-op for them."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Convenience (drive an op to completion on a throwaway context)
+    # ------------------------------------------------------------------
+    def run_op(self, op_gen):
+        """Run one op generator to completion outside any workload.
+
+        Only valid while the engine is not running; used by tests and
+        examples for setup/verification.
+        """
+        proc = self.engine.process(op_gen)
+        self.engine.run()
+        if not proc.ok:
+            raise proc.value
+        return proc.value

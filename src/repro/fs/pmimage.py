@@ -1,0 +1,204 @@
+"""The persistent-memory image: all durable state, in persist order.
+
+Everything a filesystem must find again after a power failure lives in
+a :class:`PMImage`: data pages, per-inode logs and their committed tail
+pointers, inode records, the multi-inode journal, and -- the EasyIO
+twist (§4.2) -- the DMA channels' completion buffers, which EasyIO
+places in a predefined persistent region.
+
+Crash-consistency testing needs the *persist order* of mutations, so
+every durable store goes through a mutation method that (optionally)
+appends a :class:`MutationRecord` to the image's journal.  A simulated
+power failure at crash point *k* is then "replay the first *k* records
+into a fresh image": exactly CrashMonkey's black-box model, with the
+8-byte-atomic granularity NOVA's commit protocol assumes.
+
+Recording is off by default; performance experiments pay nothing for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One durable store, in persist order.
+
+    ``op`` names the mutation method; ``args`` are immutable values
+    sufficient to replay it.
+    """
+
+    op: str
+    args: Tuple[Any, ...]
+
+
+#: Marker stored for page writes whose payload was elided (performance
+#: runs that do not verify data content).
+ELIDED = object()
+
+
+class PMImage:
+    """All persistent state of one filesystem instance.
+
+    The mutable containers are only ever touched through the mutation
+    methods below, so the journal (when enabled) is a complete,
+    replayable persist-order history.
+    """
+
+    def __init__(self, record: bool = False):
+        self.pages: Dict[int, Any] = {}                 # page_id -> bytes|ELIDED
+        self.inodes: Dict[int, Any] = {}                # ino -> Inode (frozen)
+        self.logs: Dict[int, List[Any]] = {}            # ino -> log entries
+        self.log_tails: Dict[int, int] = {}             # ino -> committed entries
+        self.journal: List[Any] = []                    # lightweight txn journal
+        self.completion_buffers: Dict[int, int] = {}    # channel -> completion SN
+        self.next_ino: int = 1
+        self.next_page: int = 0
+        self.recording = record
+        self.mutations: List[MutationRecord] = []
+
+    # ------------------------------------------------------------------
+    # Mutation methods -- every durable store goes through one of these.
+    # ------------------------------------------------------------------
+    def _record(self, op: str, *args: Any) -> None:
+        if self.recording:
+            self.mutations.append(MutationRecord(op, args))
+
+    def write_page(self, page_id: int, data: Any) -> None:
+        """Persist one data page (bytes, or ELIDED for elided payloads)."""
+        self.pages[page_id] = data
+        self._record("write_page", page_id, data)
+
+    def drop_page(self, page_id: int) -> None:
+        """Return a page to free space.
+
+        Freeing is purely a (volatile) allocator notion: persistent
+        memory does not erase the bytes, and recovery may legitimately
+        fall back to an old CoW page after discarding an unfinished
+        write's mapping.  Content only disappears when the page is
+        reallocated and overwritten by a later :meth:`write_page`.
+        """
+        # Intentionally neither erases nor journals anything.
+
+    def put_inode(self, ino: int, inode: Any) -> None:
+        """Persist an inode record (create or in-place field update)."""
+        self.inodes[ino] = inode
+        self._record("put_inode", ino, inode)
+
+    def drop_inode(self, ino: int) -> None:
+        self.inodes.pop(ino, None)
+        self.logs.pop(ino, None)
+        self.log_tails.pop(ino, None)
+        self._record("drop_inode", ino)
+
+    def append_log(self, ino: int, entry: Any) -> int:
+        """Write a log entry *past the committed tail* (not yet valid).
+
+        Returns the entry's index.  The entry only becomes durable state
+        once :meth:`commit_log_tail` moves the tail past it -- that
+        split is exactly NOVA's two-step append+commit.
+        """
+        log = self.logs.setdefault(ino, [])
+        log.append(entry)
+        self._record("append_log", ino, entry)
+        return len(log) - 1
+
+    def commit_log_tail(self, ino: int, tail: int) -> None:
+        """The atomic 8-byte tail update: NOVA's commit point."""
+        self.log_tails[ino] = tail
+        self._record("commit_log_tail", ino, tail)
+
+    def journal_begin(self, txn: Any) -> None:
+        """Persist a journal record for a multi-inode transaction."""
+        self.journal.append(txn)
+        self._record("journal_begin", txn)
+
+    def journal_end(self) -> None:
+        """Retire the journal record (transaction fully applied)."""
+        if self.journal:
+            self.journal.pop()
+        self._record("journal_end")
+
+    def update_completion_buffer(self, channel_id: int, sn: int) -> None:
+        """The DMA engine persists a channel's completion buffer value.
+
+        EasyIO places completion buffers in a persistent region (§4.2);
+        this is the store that makes a finished DMA visible to recovery.
+        """
+        self.completion_buffers[channel_id] = sn
+        self._record("update_completion_buffer", channel_id, sn)
+
+    # ------------------------------------------------------------------
+    # Allocation counters (volatile in NOVA, rebuilt on recovery; we
+    # journal them so replayed images can keep allocating).
+    # ------------------------------------------------------------------
+    def alloc_ino(self) -> int:
+        ino = self.next_ino
+        self.next_ino += 1
+        self._record("alloc_ino", ino)
+        return ino
+
+    def alloc_page_ids(self, count: int) -> List[int]:
+        ids = list(range(self.next_page, self.next_page + count))
+        self.next_page += count
+        self._record("alloc_page_ids", self.next_page)
+        return ids
+
+    # ------------------------------------------------------------------
+    # Crash replay
+    # ------------------------------------------------------------------
+    def crash_points(self) -> int:
+        """Number of distinct crash points (0 .. len(mutations))."""
+        return len(self.mutations)
+
+    def replay(self, upto: int) -> "PMImage":
+        """Build the post-crash image from the first ``upto`` mutations."""
+        if not self.recording:
+            raise RuntimeError("replay() requires an image created with record=True")
+        img = PMImage(record=False)
+        for rec in self.mutations[:upto]:
+            img.apply(rec)
+        return img
+
+    def apply(self, rec: MutationRecord) -> None:
+        """Apply one replayed mutation record."""
+        op, args = rec.op, rec.args
+        if op == "write_page":
+            self.pages[args[0]] = args[1]
+        elif op == "put_inode":
+            self.inodes[args[0]] = args[1]
+        elif op == "drop_inode":
+            self.inodes.pop(args[0], None)
+            self.logs.pop(args[0], None)
+            self.log_tails.pop(args[0], None)
+        elif op == "append_log":
+            self.logs.setdefault(args[0], []).append(args[1])
+        elif op == "commit_log_tail":
+            self.log_tails[args[0]] = args[1]
+        elif op == "journal_begin":
+            self.journal.append(args[0])
+        elif op == "journal_end":
+            if self.journal:
+                self.journal.pop()
+        elif op == "update_completion_buffer":
+            self.completion_buffers[args[0]] = args[1]
+        elif op == "alloc_ino":
+            self.next_ino = max(self.next_ino, args[0] + 1)
+        elif op == "alloc_page_ids":
+            self.next_page = max(self.next_page, args[0])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown mutation op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def committed_log(self, ino: int) -> List[Any]:
+        """The committed prefix of an inode's log."""
+        tail = self.log_tails.get(ino, 0)
+        return self.logs.get(ino, [])[:tail]
+
+    def page_bytes(self) -> int:
+        """Rough count of live data pages."""
+        return len(self.pages)

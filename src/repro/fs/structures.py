@@ -1,0 +1,157 @@
+"""Persistent metadata structures (NOVA-style) and their volatile mirrors.
+
+Persistent records are frozen dataclasses: once appended to a
+:class:`~repro.fs.pmimage.PMImage` log they are immutable, so crash
+replay cannot observe half-updated entries (NOVA's 8-byte-atomic
+tail commit is the only mutation that validates them).
+
+The EasyIO modification (§5) appears here as the ``sns`` field of
+:class:`WriteEntry`: the sequence numbers of the DMA descriptors that
+carry the entry's data pages.  A recovered entry is valid only if every
+one of those SNs is covered by the corresponding channel's persistent
+completion buffer.  Synchronous filesystems leave ``sns`` empty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class FileKind(enum.Enum):
+    """Inode type."""
+
+    FILE = "file"
+    DIR = "dir"
+
+
+@dataclass(frozen=True)
+class Inode:
+    """Persistent inode record."""
+
+    ino: int
+    kind: FileKind
+    links: int
+    ctime: int
+
+
+@dataclass(frozen=True)
+class WriteEntry:
+    """A committed file write: the block-mapping update for a CoW write.
+
+    Attributes
+    ----------
+    pgoff:
+        First file page covered.
+    page_ids:
+        The newly written physical pages, one per covered file page.
+    size_after:
+        File size after this write (NOVA log entries carry the size).
+    sns:
+        ``((channel_id, sn), ...)`` for the DMA descriptors moving this
+        entry's data -- EasyIO's extra SN field.  Empty for CPU copies.
+    """
+
+    pgoff: int
+    page_ids: Tuple[int, ...]
+    size_after: int
+    mtime: int
+    sns: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_ids)
+
+
+@dataclass(frozen=True)
+class SetAttrEntry:
+    """Size/time attribute update (truncate and friends)."""
+
+    size: int
+    mtime: int
+
+
+@dataclass(frozen=True)
+class DentryEntry:
+    """Directory log entry: add (valid=True) or remove a name."""
+
+    name: str
+    ino: int
+    kind: FileKind
+    valid: bool
+    mtime: int
+
+
+@dataclass(frozen=True)
+class RenameTxn:
+    """Journal record for the multi-inode rename transaction."""
+
+    src_dir: int
+    src_name: str
+    dst_dir: int
+    dst_name: str
+    ino: int
+    kind: FileKind
+
+
+@dataclass
+class PageMapping:
+    """Volatile block-mapping slot: one file page -> physical page.
+
+    ``sns`` mirrors the owning :class:`WriteEntry`; EasyIO's two-level
+    locking consults it to decide whether the page's data has landed.
+    """
+
+    page_id: int
+    sns: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass
+class MemInode:
+    """Volatile in-DRAM inode state, rebuilt from the log on recovery.
+
+    Holds what NOVA keeps in DRAM: the page index (radix tree), current
+    size/mtime, the dentry map for directories -- plus EasyIO's
+    bookkeeping: ``pending_sns``, the SNs of the most recent write whose
+    DMA may still be in flight (the level-2 lock state, §4.3).
+    """
+
+    ino: int
+    kind: FileKind
+    links: int = 1
+    size: int = 0
+    mtime: int = 0
+    index: Dict[int, PageMapping] = field(default_factory=dict)
+    dentries: Dict[str, int] = field(default_factory=dict)
+    pending_sns: Tuple[Tuple[int, int], ...] = ()
+    # Assigned lazily by the filesystem (a sim Lock needs the engine).
+    lock: Optional[object] = None
+
+    def extent_runs(self, pgoff: int, npages: int):
+        """Yield ``(pgoff, [page_ids...])`` runs of physically
+        consecutive pages over the requested file range.
+
+        NOVA issues one memcpy (EasyIO: one DMA descriptor) per
+        physically contiguous run.
+        """
+        run_start = None
+        run_pages = []
+        for off in range(pgoff, pgoff + npages):
+            mapping = self.index.get(off)
+            page_id = mapping.page_id if mapping else None
+            if run_pages and page_id is not None and page_id == run_pages[-1] + 1:
+                run_pages.append(page_id)
+                continue
+            if run_pages:
+                yield run_start, run_pages
+            run_start, run_pages = off, ([page_id] if page_id is not None else [])
+            if page_id is None:
+                # A hole: emit an empty run so readers can zero-fill.
+                yield off, []
+                run_start, run_pages = None, []
+        if run_pages:
+            yield run_start, run_pages

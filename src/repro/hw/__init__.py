@@ -1,0 +1,28 @@
+"""Simulated hardware: slow memory, on-chip DMA engine, CPU cores.
+
+This package is the substitute for the paper's testbed (2x Xeon Gold
+6240M + 6 Optane DCPMMs + I/OAT).  The cost model lives in
+:mod:`repro.hw.params`; :mod:`repro.hw.memory` models bandwidth-shared
+slow memory, :mod:`repro.hw.dma` the I/OAT-style on-chip DMA engine,
+:mod:`repro.hw.cpu` cores with busy-time accounting, and
+:mod:`repro.hw.platform` assembles a full machine.
+"""
+
+from repro.hw.params import CostModel, DEFAULT_COST_MODEL
+from repro.hw.memory import BandwidthPool, SlowMemory
+from repro.hw.cpu import Core
+from repro.hw.dma import DmaChannel, DmaDescriptor, DmaEngine
+from repro.hw.platform import Platform, PlatformConfig
+
+__all__ = [
+    "BandwidthPool",
+    "Core",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DmaChannel",
+    "DmaDescriptor",
+    "DmaEngine",
+    "Platform",
+    "PlatformConfig",
+    "SlowMemory",
+]

@@ -1,0 +1,291 @@
+"""I/OAT-style on-chip DMA engine.
+
+Each :class:`DmaChannel` owns a bounded hardware descriptor ring served
+by one processing engine.  Submitting costs the CPU a descriptor-prep
+plus an MMIO doorbell (charged to the *caller*); the engine then pays a
+per-descriptor startup overhead -- lower when descriptors stream
+back-to-back (batching / pipelining) -- and moves the payload through
+the slow-memory bandwidth pools (DMA class, so the calibrated DMA
+asymmetries apply).
+
+Completion is claimed exactly as the paper describes (§2.2, §4.2): the
+engine bumps the channel's *completion buffer*, a 64-bit value pointing
+at the most recently finished descriptor in the ring.  We additionally
+expose the wraparound counter (CNT) that EasyIO maintains alongside it,
+so ``completion CNT·ADDR`` forms the monotonically increasing sequence
+number (SN) EasyIO's orderless file operation relies on.
+
+Channels support CHANCMD-style suspend/resume (the in-flight descriptor
+executes to completion; fetching stops), which the channel manager uses
+for µs-scale bandwidth throttling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Sequence
+
+from repro.hw.memory import SlowMemory
+from repro.hw.params import CostModel
+from repro.sim import Channel as SimChannel
+from repro.sim import Engine, Event, Gate
+
+
+class DmaDescriptor:
+    """One DMA work descriptor (a memory-copy command).
+
+    Attributes
+    ----------
+    nbytes:
+        Payload size.
+    write:
+        True for DRAM->PM (a PM write), False for PM->DRAM (a PM read).
+    done:
+        Event fired when the engine posts this descriptor's completion.
+    sn:
+        Channel-local sequence number, assigned at submit time.  The
+        descriptor is complete once the channel's completion SN is
+        >= this value.
+    """
+
+    __slots__ = ("nbytes", "write", "tag", "done", "sn", "pipelined",
+                 "submitted_at", "completed_at", "on_complete")
+
+    def __init__(self, nbytes: int, write: bool, tag: object = None,
+                 on_complete: Optional[Callable[["DmaDescriptor"], None]] = None):
+        if nbytes <= 0:
+            raise ValueError(f"descriptor payload must be positive, got {nbytes}")
+        self.nbytes = nbytes
+        self.write = write
+        self.tag = tag
+        self.done: Optional[Event] = None
+        self.sn: Optional[int] = None
+        self.pipelined = False
+        self.submitted_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+        #: Invoked by the engine when the payload has landed, *before*
+        #: the completion buffer is bumped -- the DMA writes its data,
+        #: then claims completion.  EasyIO hooks page persistence here.
+        self.on_complete = on_complete
+
+
+class DmaChannel:
+    """One DMA channel: descriptor ring + processing engine + completion buffer."""
+
+    def __init__(self, engine: Engine, model: CostModel, memory: SlowMemory,
+                 channel_id: int):
+        self.engine = engine
+        self.model = model
+        self.memory = memory
+        self.channel_id = channel_id
+        self._ring = SimChannel(engine, model.dma_ring_size)
+        self._suspended = False
+        self._resume_gate = Gate(engine, opened=True)
+        self._submitted_total = 0
+        self._completed_total = 0
+        self._pipeline_next = False
+        # (sn, event) waiters resolved when completion SN reaches sn.
+        self._sn_waiters: List = []
+        self._waiter_seq = 0
+        # Observability / throttling inputs.
+        self.bytes_moved = 0
+        self.descriptors_completed = 0
+        #: Called as fn(channel) after every completion-buffer update;
+        #: the persistent-memory image hooks this to journal the update.
+        self.on_completion: Optional[Callable[["DmaChannel"], None]] = None
+        #: Set by the owning DmaEngine; used for engine-capacity sharing.
+        self.owner_engine: Optional["DmaEngine"] = None
+        self._server = engine.process(self._service_loop(),
+                                      name=f"dma-ch{channel_id}")
+
+    # -- software-visible state ----------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Descriptors submitted but not yet completed."""
+        return self._submitted_total - self._completed_total
+
+    @property
+    def completion_sn(self) -> int:
+        """Monotonic completion sequence number (CNT·ADDR combined)."""
+        return self._completed_total
+
+    @property
+    def completion_addr(self) -> int:
+        """The raw 64-bit completion buffer: ring slot of the newest
+        finished descriptor (wraps around)."""
+        return self._completed_total % self.model.dma_ring_size
+
+    @property
+    def completion_cnt(self) -> int:
+        """Wraparound counter maintained alongside the completion buffer."""
+        return self._completed_total // self.model.dma_ring_size
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
+    # -- submission -------------------------------------------------------
+    def submit(self, descriptors: Sequence[DmaDescriptor]):
+        """Process generator: CPU-side submission of one batch.
+
+        Charges the caller descriptor-prep per descriptor plus one
+        doorbell, then enqueues into the hardware ring (blocking if the
+        ring is full).  Sets each descriptor's ``sn`` and ``done`` event.
+        """
+        if not descriptors:
+            return []
+        if len(descriptors) > self.model.dma_batch_max:
+            raise ValueError(
+                f"batch of {len(descriptors)} exceeds max {self.model.dma_batch_max}")
+        prep = self.model.dma_desc_prep_cost * len(descriptors)
+        yield self.engine.timeout(prep + self.model.dma_doorbell_cost)
+        for i, desc in enumerate(descriptors):
+            desc.pipelined = i > 0
+            desc.done = self.engine.event()
+            desc.submitted_at = self.engine.now
+            self._submitted_total += 1
+            desc.sn = self._submitted_total
+            yield self._ring.put(desc)
+        return list(descriptors)
+
+    def try_submit_one(self, desc: DmaDescriptor) -> bool:
+        """Non-blocking single-descriptor submit (no CPU cost charged).
+
+        Used where the caller has already accounted for submission cost
+        and must not block; returns False if the ring is full.
+        """
+        if self._ring.full:
+            return False
+        desc.pipelined = False
+        desc.done = self.engine.event()
+        desc.submitted_at = self.engine.now
+        self._submitted_total += 1
+        desc.sn = self._submitted_total
+        ev = self._ring.put(desc)
+        assert ev.triggered, "ring accepted the descriptor synchronously"
+        return True
+
+    # -- completion waiting ------------------------------------------------
+    def completion_event(self, sn: int) -> Event:
+        """Event firing once the completion SN reaches ``sn``.
+
+        Fires immediately if it already has.  This models software
+        polling the (read-only exported) completion buffer: the sim
+        event fires at the exact instant the buffer value covers ``sn``.
+        """
+        ev = self.engine.event()
+        if self._completed_total >= sn:
+            ev.succeed(self._completed_total)
+        else:
+            self._waiter_seq += 1
+            heapq.heappush(self._sn_waiters, (sn, self._waiter_seq, ev))
+        return ev
+
+    def is_complete(self, sn: int) -> bool:
+        """Poll: has descriptor ``sn`` finished?"""
+        return self._completed_total >= sn
+
+    # -- CHANCMD ------------------------------------------------------------
+    def suspend(self) -> None:
+        """Stop fetching descriptors (in-flight one runs to completion)."""
+        self._suspended = True
+        self._resume_gate.close()
+
+    def resume(self) -> None:
+        """Resume descriptor fetching."""
+        self._suspended = False
+        self._resume_gate.open()
+
+    # -- engine ----------------------------------------------------------------
+    def _service_loop(self):
+        model = self.model
+        while True:
+            desc = yield self._ring.get()
+            if self._suspended:
+                yield self._resume_gate.wait()
+            pipelined = desc.pipelined or self._pipeline_next
+            self._pipeline_next = len(self._ring) > 0
+            overhead = (model.dma_desc_overhead_batched if pipelined
+                        else model.dma_desc_overhead)
+            yield self.engine.timeout(overhead)
+            rate = (model.dma_channel_write_rate if desc.write
+                    else model.dma_channel_read_rate)
+            # The engine's processing capacity is shared by every
+            # channel currently serving a descriptor; a channel's rate
+            # is capped at its share (snapshotted at descriptor start,
+            # which is exact for the <=64 KB split descriptors and a
+            # fair approximation for rare bulk ones).
+            owner = self.owner_engine
+            if owner is not None:
+                rate = min(rate, owner.claim_share())
+            try:
+                yield self.memory.dma_transfer(desc.nbytes, desc.write, rate,
+                                               tag=self.channel_id)
+            finally:
+                if owner is not None:
+                    owner.release_share()
+            yield self.engine.timeout(model.dma_completion_write_cost)
+            if desc.on_complete is not None:
+                desc.on_complete(desc)
+            self._completed_total += 1
+            self.bytes_moved += desc.nbytes
+            self.descriptors_completed += 1
+            desc.completed_at = self.engine.now
+            if self.on_completion is not None:
+                self.on_completion(self)
+            done = desc.done
+            assert done is not None
+            done.succeed(desc)
+            while self._sn_waiters and self._sn_waiters[0][0] <= self._completed_total:
+                _sn, _seq, ev = heapq.heappop(self._sn_waiters)
+                ev.succeed(self._completed_total)
+
+
+class DmaEngine:
+    """The per-socket DMA engine: a set of channels over one memory device."""
+
+    def __init__(self, engine: Engine, model: CostModel, memory: SlowMemory,
+                 num_channels: Optional[int] = None, sockets: int = 1):
+        self.engine = engine
+        self.model = model
+        self.memory = memory
+        self.sockets = sockets
+        n = num_channels if num_channels is not None else model.dma_channels_per_socket
+        if n < 1:
+            raise ValueError(f"need at least one DMA channel, got {n}")
+        self.channels = [DmaChannel(engine, model, memory, channel_id=i)
+                         for i in range(n)]
+        #: Total processing capacity shared by all channels (B/ns).
+        self.capacity = model.dma_engine_capacity_per_socket * sockets
+        self._serving = 0
+        for ch in self.channels:
+            ch.owner_engine = self
+
+    # -- engine capacity sharing ----------------------------------------
+    def claim_share(self) -> float:
+        """A channel starts serving a descriptor: its capacity share."""
+        self._serving += 1
+        return self.capacity / self._serving
+
+    def release_share(self) -> None:
+        self._serving -= 1
+        assert self._serving >= 0, "unbalanced engine share accounting"
+
+    @property
+    def serving_channels(self) -> int:
+        return self._serving
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def channel(self, idx: int) -> DmaChannel:
+        return self.channels[idx]
+
+    def least_loaded(self, candidates: Optional[Sequence[int]] = None) -> DmaChannel:
+        """The candidate channel with the shallowest queue (ties: lowest id)."""
+        chans = (self.channels if candidates is None
+                 else [self.channels[i] for i in candidates])
+        return min(chans, key=lambda c: (c.queue_depth, c.channel_id))
+
+    def total_bytes_moved(self) -> int:
+        return sum(c.bytes_moved for c in self.channels)

@@ -1,0 +1,32 @@
+"""Userspace scheduling runtime (Caladan-like).
+
+Application logic runs inside lightweight userspace threads
+(:class:`~repro.runtime.uthread.Uthread`) multiplexed over physical
+cores by per-core schedulers.  A uthread expresses its behaviour by
+yielding :mod:`effects <repro.runtime.effects>`: compute for N ns,
+issue a filesystem syscall, sleep, or yield the core.
+
+The EasyIO integration contract (paper §5) is implemented exactly:
+
+* a syscall runs inline on the core (the synchronous part burns CPU);
+* if it returns with pending asynchronous I/O, the runtime performs a
+  ``thread_yield()`` -- the uthread parks on the completion and the
+  core switches to the next runnable uthread;
+* uthreads whose completions have arrived are preferred over fresh
+  ones, and idle cores steal runnable uthreads from busy ones
+  (work stealing can be disabled, as the Figure 11 ablation requires).
+"""
+
+from repro.runtime.effects import Compute, Sleep, Syscall, Yield
+from repro.runtime.scheduler import CoreScheduler, Runtime
+from repro.runtime.uthread import Uthread
+
+__all__ = [
+    "Compute",
+    "CoreScheduler",
+    "Runtime",
+    "Sleep",
+    "Syscall",
+    "Uthread",
+    "Yield",
+]

@@ -1,0 +1,68 @@
+"""Effects a uthread may yield to its scheduler.
+
+A uthread body is a plain generator; each ``yield`` hands the scheduler
+one of these request objects and receives the request's result when the
+scheduler resumes it:
+
+``Compute(ns)``
+    Burn CPU for ``ns`` nanoseconds (uninterruptible, like a real
+    uthread between yield points).
+
+``Syscall(op)``
+    Execute a filesystem operation (a simulation coroutine produced by
+    e.g. ``fs.write(ctx, ...)``).  The synchronous part runs inline on
+    the core.  If the operation returns pending asynchronous I/O the
+    uthread is parked until completion and the core switches; the
+    effect's result is always the finished :class:`~repro.fs.nova.OpResult`.
+
+``Sleep(ns)``
+    Leave the core for at least ``ns`` (timer sleep -- the core is free
+    to run others; used by periodic tasks like the GC in Figure 12).
+
+``Yield()``
+    Voluntarily hand the core to the next runnable uthread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+
+@dataclass
+class Compute:
+    """Burn CPU for ``ns`` nanoseconds."""
+
+    ns: int
+
+    def __post_init__(self):
+        if self.ns < 0:
+            raise ValueError(f"negative compute time: {self.ns}")
+
+
+@dataclass
+class Syscall:
+    """Execute a filesystem operation coroutine."""
+
+    op: Generator
+    #: Free-form label used in traces ("write", "read", ...).
+    label: str = "syscall"
+
+
+@dataclass
+class Sleep:
+    """Timer sleep: the uthread leaves the core for ``ns``."""
+
+    ns: int
+
+    def __post_init__(self):
+        if self.ns < 0:
+            raise ValueError(f"negative sleep time: {self.ns}")
+
+
+@dataclass
+class Yield:
+    """Voluntarily yield the core."""
+
+
+EffectResult = Any

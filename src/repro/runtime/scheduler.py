@@ -1,0 +1,228 @@
+"""Per-core schedulers and the runtime that owns them.
+
+Scheduling policy (mirroring the paper's modified Caladan, §5):
+
+* Each core runs one scheduler.  Runnable uthreads live in two FIFO
+  queues: ``completed_q`` (parked uthreads whose asynchronous I/O has
+  finished -- preferred, to preserve the low-latency advantage) and
+  ``fresh_q`` (everything else).
+* A syscall executes inline on the core.  When it returns with pending
+  asynchronous I/O the runtime charges one completion poll, parks the
+  uthread, and switches to the next runnable one (``thread_yield()`` on
+  every return from the kernel).
+* A synchronous syscall result resumes the *same* uthread immediately
+  -- which is exactly why interleaved memcpy reads delay concurrent
+  asynchronous reads in Figure 9 (the paper's higher-read-latency
+  effect).
+* Idle cores steal runnable uthreads from the longest queue
+  (work stealing; can be disabled for the Figure 11 ablation).
+* A uthread is never resumed while its own issued DMA is unfinished
+  (correctness rule from §5) -- parking guarantees it structurally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.fs.nova import OpContext
+from repro.hw.cpu import Core
+from repro.hw.platform import Platform
+from repro.runtime.effects import Compute, Sleep, Syscall, Yield
+from repro.runtime.uthread import Uthread, UthreadState
+from repro.sim import Event, Gate
+
+
+class CoreScheduler:
+    """The scheduler multiplexing uthreads on one physical core."""
+
+    def __init__(self, runtime: "Runtime", core: Core):
+        self.runtime = runtime
+        self.core = core
+        self.engine = runtime.engine
+        self.completed_q: Deque[Uthread] = deque()
+        self.fresh_q: Deque[Uthread] = deque()
+        self._wake = Gate(self.engine)
+        self.switches = 0
+        self.steals = 0
+        self._proc = self.engine.process(self._loop(),
+                                         name=f"sched-core{core.core_id}")
+
+    # -- queue management ------------------------------------------------
+    def enqueue(self, ut: Uthread, completed: bool = False) -> None:
+        """Make a uthread runnable on this core and wake the scheduler."""
+        ut.state = UthreadState.RUNNABLE
+        ut.home = self
+        (self.completed_q if completed else self.fresh_q).append(ut)
+        self._wake.pulse()
+
+    @property
+    def queue_len(self) -> int:
+        return len(self.completed_q) + len(self.fresh_q)
+
+    def _next_local(self) -> Optional[Uthread]:
+        if self.completed_q:
+            return self.completed_q.popleft()
+        if self.fresh_q:
+            return self.fresh_q.popleft()
+        return None
+
+    # -- main loop ----------------------------------------------------------
+    def _loop(self):
+        model = self.runtime.platform.model
+        while True:
+            ut = self._next_local()
+            stolen = False
+            if ut is None and self.runtime.steal:
+                ut = self._try_steal()
+                stolen = ut is not None
+            if ut is None:
+                yield self._wake.wait()
+                continue
+            self.core.mark_busy(ut.name)
+            try:
+                if stolen:
+                    yield self.engine.timeout(model.work_steal_cost)
+                yield from self._run(ut)
+            finally:
+                # A uthread blocked in-kernel (idle_wait) may have
+                # already released the core; only close an open span.
+                if self.core.busy:
+                    self.core.mark_idle()
+
+    def _try_steal(self) -> Optional[Uthread]:
+        victims = [s for s in self.runtime.schedulers
+                   if s is not self and s.queue_len > 0]
+        if not victims:
+            return None
+        victim = max(victims, key=lambda s: (s.queue_len, -s.core.core_id))
+        ut = victim._next_local()
+        if ut is not None:
+            ut.steals += 1
+            ut.home = self
+            self.steals += 1
+        return ut
+
+    # -- running one uthread until it leaves the core -------------------------
+    def _run(self, ut: Uthread):
+        model = self.runtime.platform.model
+        self.switches += 1
+        yield self.engine.timeout(model.uthread_switch_cost)
+        ut.state = UthreadState.RUNNING
+        # A Naive-EasyIO style deferred second syscall (metadata commit
+        # after DMA completion) runs before the uthread resumes.
+        if getattr(ut, "pending_continuation", None) is not None:
+            make, result = ut.pending_continuation
+            ut.pending_continuation = None
+            ctx = OpContext(self.runtime.platform, core=self.core)
+            yield from make(ctx)
+            ut.resume_value = result
+        value = ut.resume_value
+        ut.resume_value = None
+        while True:
+            try:
+                effect = ut.body.send(value)
+            except StopIteration as stop:
+                ut.finish(stop.value)
+                self.runtime._uthread_finished()
+                return
+            except BaseException as exc:
+                ut.fail(exc)
+                self.runtime._uthread_finished()
+                raise
+            value = None
+            if isinstance(effect, Compute):
+                yield self.engine.timeout(effect.ns)
+            elif isinstance(effect, Yield):
+                ut.state = UthreadState.RUNNABLE
+                self.fresh_q.append(ut)
+                return
+            elif isinstance(effect, Sleep):
+                ut.state = UthreadState.PARKED
+                home = self
+                wake = self.engine.timeout(effect.ns)
+                wake.add_callback(lambda _e, u=ut: home.enqueue(u))
+                return
+            elif isinstance(effect, Syscall):
+                ctx = OpContext(self.runtime.platform, core=self.core)
+                result = yield from effect.op(ctx)
+                ut.syscalls += 1
+                # Returning from the kernel: poll completion buffers.
+                yield self.engine.timeout(model.completion_poll_cost)
+                if result is not None and getattr(result, "is_async", False):
+                    ut.state = UthreadState.PARKED
+                    ut.io_parked = True
+                    ut.parks += 1
+                    self._park(ut, result)
+                    return
+                value = result
+            else:
+                raise TypeError(
+                    f"uthread {ut.name} yielded unknown effect {effect!r}")
+
+    def _park(self, ut: Uthread, result) -> None:
+        """Park until the op's pending I/O completes, then requeue."""
+        def on_complete(_event):
+            ut.io_parked = False
+            continuation = getattr(result, "continuation", None)
+            if continuation is not None:
+                ut.pending_continuation = (continuation, result)
+            else:
+                ut.resume_value = result
+            # Resume on the uthread's (possibly new) home core, with
+            # completed-I/O priority.
+            ut.home.enqueue(ut, completed=True)
+        result.pending.add_callback(on_complete)
+
+
+class Runtime:
+    """The userspace runtime: one scheduler per dedicated core."""
+
+    def __init__(self, platform: Platform, cores: Optional[List[Core]] = None,
+                 steal: bool = True):
+        self.platform = platform
+        self.engine = platform.engine
+        self.steal = steal
+        self.cores = cores if cores is not None else platform.cores
+        if not self.cores:
+            raise ValueError("runtime needs at least one core")
+        self.schedulers = [CoreScheduler(self, core) for core in self.cores]
+        self._active = 0
+        self._drain_waiters: List[Event] = []
+        self._spawn_rr = 0
+
+    def spawn(self, body, core: Optional[int] = None,
+              name: Optional[str] = None) -> Uthread:
+        """Create a uthread and enqueue it (round-robin without ``core``)."""
+        ut = Uthread(self.engine, body, name=name)
+        if core is None:
+            idx = self._spawn_rr % len(self.schedulers)
+            self._spawn_rr += 1
+        else:
+            idx = core
+        self._active += 1
+        self.schedulers[idx].enqueue(ut)
+        return ut
+
+    @property
+    def active_uthreads(self) -> int:
+        return self._active
+
+    def _uthread_finished(self) -> None:
+        self._active -= 1
+        if self._active == 0:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for ev in waiters:
+                ev.succeed()
+
+    def drain(self) -> Event:
+        """Event firing when no live uthreads remain."""
+        ev = self.engine.event()
+        if self._active == 0:
+            ev.succeed()
+        else:
+            self._drain_waiters.append(ev)
+        return ev
+
+    def total_switches(self) -> int:
+        return sum(s.switches for s in self.schedulers)

@@ -1,0 +1,71 @@
+"""Lightweight userspace threads.
+
+A :class:`Uthread` owns the generator implementing the application
+task plus the scheduling state the runtime needs: which scheduler it
+belongs to, whether it is parked on an I/O completion, and lifetime
+statistics.  It is also waitable -- ``uthread.done`` is a simulation
+event firing when the body returns.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+from repro.sim import Engine, Event
+
+
+class UthreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    PARKED = "parked"      # waiting on an I/O completion or timer
+    FINISHED = "finished"
+
+
+class Uthread:
+    """One userspace thread."""
+
+    _seq = 0
+
+    def __init__(self, engine: Engine, body: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(body, "send"):
+            raise TypeError(
+                f"uthread body must be a generator, got {type(body).__name__}")
+        Uthread._seq += 1
+        self.uid = Uthread._seq
+        self.engine = engine
+        self.body = body
+        self.name = name or f"uthread-{self.uid}"
+        self.state = UthreadState.RUNNABLE
+        #: The scheduler currently responsible for running this uthread.
+        self.home = None
+        #: Value to send into the body on next resume.
+        self.resume_value: Any = None
+        #: Fired with the body's return value when it finishes.
+        self.done: Event = engine.event()
+        #: True once parked because of async I/O (vs a timer sleep).
+        self.io_parked = False
+        # Statistics.
+        self.spawned_at = engine.now
+        self.finished_at: Optional[int] = None
+        self.syscalls = 0
+        self.parks = 0
+        self.steals = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.state is UthreadState.FINISHED
+
+    def finish(self, value: Any) -> None:
+        self.state = UthreadState.FINISHED
+        self.finished_at = self.engine.now
+        self.done.succeed(value)
+
+    def fail(self, exc: BaseException) -> None:
+        self.state = UthreadState.FINISHED
+        self.finished_at = self.engine.now
+        self.done.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Uthread {self.name} {self.state.value}>"

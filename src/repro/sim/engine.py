@@ -1,0 +1,381 @@
+"""Discrete-event simulation engine.
+
+The engine keeps a priority queue of scheduled events ordered by
+``(time, sequence)``.  Processes are generator coroutines that yield
+:class:`Event` objects; the engine resumes a process when the event it
+is waiting on fires.  Time is an integer number of nanoseconds, which
+keeps arithmetic exact and traces reproducible.
+
+Example
+-------
+>>> eng = Engine()
+>>> log = []
+>>> def worker(name, delay):
+...     yield eng.timeout(delay)
+...     log.append((eng.now, name))
+>>> _ = eng.process(worker("a", 10))
+>>> _ = eng.process(worker("b", 5))
+>>> eng.run()
+>>> log
+[(5, 'b'), (10, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled to fire, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A happening in simulated time that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, which schedules its callbacks to run at the current
+    simulation time.  Once the callbacks have run the event is
+    *processed* and its value is frozen.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+
+    # -- inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if it failed)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.engine._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have the exception thrown
+        into it.
+        """
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.engine._schedule(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately (still at the current simulation time).
+        """
+        if self._state == _PROCESSED:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _process_callbacks(self) -> None:
+        callbacks = self.callbacks
+        self.callbacks = None
+        self._state = _PROCESSED
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+        elif not self._ok and isinstance(self, Process):
+            # A process died with no one waiting on it: surface the error
+            # instead of letting it pass silently.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered",
+                 _PROCESSED: "processed"}[self._state]
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._state = _TRIGGERED
+        engine._schedule(self, delay)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires.
+
+    The value is a dict mapping the already-fired events to their
+    values (there may be more than one if several fire at the same
+    instant before callbacks run).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        fired = {ev: ev._value for ev in self.events if ev.processed or ev is event}
+        self.succeed(fired)
+
+
+class AllOf(Event):
+    """Fires when every one of ``events`` has fired."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev._value for ev in self.events})
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on exit.
+
+    The generator may ``yield`` any :class:`Event`; the process resumes
+    when that event fires, receiving the event's value (or having the
+    event's exception thrown in).  The value a generator ``return``s
+    becomes the process event's value.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_interrupts")
+
+    def __init__(self, engine: "Engine", generator: Generator,
+                 name: Optional[str] = None):
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list = []
+        # Bootstrap: resume once at the current time.
+        init = Event(engine)
+        init.succeed(None)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process is still running."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.engine)
+        wakeup.succeed(None)
+        wakeup.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # Ignore stale wakeups: if we are waiting on some other event and
+        # this resume is not an interrupt delivery, drop it.
+        if (self._waiting_on is not None and event is not self._waiting_on
+                and not self._interrupts):
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        try:
+            if self._interrupts:
+                exc = self._interrupts.pop(0)
+                target = self.generator.throw(exc)
+            elif event is waited and not event._ok:
+                # Mark the failure as handled by this process.
+                target = self.generator.throw(event._value)
+            else:
+                target = self.generator.send(event._value if event is waited else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            # Propagate to waiters; if nobody is waiting, _process_callbacks
+            # re-raises so the failure is never silent.
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.engine is not self.engine:
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded event from another engine"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Engine:
+    """The simulation event loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in nanoseconds.
+    """
+
+    def __init__(self):
+        self._now: int = 0
+        self._queue: list = []
+        self._seq: int = 0
+        self._active = False
+
+    @property
+    def now(self) -> int:
+        """Current simulated time (ns)."""
+        return self._now
+
+    # -- event factories --------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator coroutine."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def call_at(self, when: int, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute time ``when`` (must not be in the past)."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    # -- main loop ---------------------------------------------------
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the event queue drains or ``until`` ns is reached.
+
+        When ``until`` is given the clock is advanced exactly to it even
+        if the queue drains earlier, so back-to-back ``run`` calls see a
+        consistent timeline.
+        """
+        if self._active:
+            raise SimulationError("engine is already running (reentrant run())")
+        self._active = True
+        try:
+            while self._queue:
+                when, _seq, event = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                event._process_callbacks()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._active = False
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None

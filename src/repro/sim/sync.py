@@ -1,0 +1,333 @@
+"""Synchronisation primitives that operate in simulated time.
+
+All primitives hand out :class:`~repro.sim.engine.Event` objects, so a
+process waits by ``yield``-ing the returned event.  Wakeup order is
+strictly FIFO, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+
+class Semaphore:
+    """Counting semaphore with FIFO waiters.
+
+    >>> eng = Engine()
+    >>> sem = Semaphore(eng, 1)
+    >>> def user():
+    ...     yield sem.acquire()
+    ...     yield eng.timeout(5)
+    ...     sem.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        """Number of processes waiting to acquire."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is held."""
+        ev = self.engine.event()
+        if self._available > 0:
+            self._available -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Take a slot immediately if one is free."""
+        if self._available > 0:
+            self._available -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Free a slot, waking the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            if self._available >= self.capacity:
+                raise SimulationError("release() without matching acquire()")
+            self._available += 1
+
+
+class Lock(Semaphore):
+    """Mutual exclusion lock (a semaphore of capacity one).
+
+    Adds :attr:`locked` for introspection and an ``owner`` tag useful
+    when debugging deadlocks.
+    """
+
+    def __init__(self, engine: Engine, name: str = "lock"):
+        super().__init__(engine, capacity=1)
+        self.name = name
+        self.owner: Optional[object] = None
+
+    @property
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._available == 0
+
+    def acquire(self, owner: Optional[object] = None) -> Event:
+        ev = super().acquire()
+        if ev.triggered:
+            self.owner = owner
+        else:
+            ev.add_callback(lambda _e: setattr(self, "owner", owner))
+        return ev
+
+    def release(self) -> None:
+        self.owner = None
+        super().release()
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    next item, in arrival order.
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of processes blocked in ``get``."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = self.engine.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Any:
+        """Pop an item immediately, or return None when empty."""
+        return self._items.popleft() if self._items else None
+
+
+class Gate:
+    """A broadcast condition: processes wait until the gate opens.
+
+    Opening the gate releases every current waiter; the gate can be
+    re-closed and reused.  Waiting on an already-open gate returns an
+    immediately-fired event.
+    """
+
+    def __init__(self, engine: Engine, opened: bool = False):
+        self.engine = engine
+        self._open = opened
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        ev = self.engine.event()
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        """Open the gate, releasing all waiters."""
+        self._open = True
+        while self._waiters:
+            self._waiters.popleft().succeed()
+
+    def close(self) -> None:
+        """Close the gate; later waiters block until the next open()."""
+        self._open = False
+
+    def pulse(self) -> None:
+        """Release current waiters without leaving the gate open."""
+        while self._waiters:
+            self._waiters.popleft().succeed()
+
+
+class Channel:
+    """A bounded hand-off queue between producer and consumer processes.
+
+    Unlike :class:`Store`, ``put`` blocks when the channel holds
+    ``capacity`` items.  Used to model hardware command queues where a
+    full ring back-pressures the submitter.
+    """
+
+    def __init__(self, engine: Engine, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"channel capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Event firing once the item has been accepted."""
+        ev = self.engine.event()
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event firing with the next item."""
+        ev = self.engine.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self._items.append(item)
+                put_ev.succeed()
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class RWLock:
+    """Reader-writer lock with FIFO fairness.
+
+    Multiple readers may hold the lock together; writers are exclusive.
+    Waiters are granted strictly in arrival order (a waiting writer
+    blocks later readers), which prevents writer starvation and keeps
+    simulations deterministic.
+    """
+
+    def __init__(self, engine: Engine, name: str = "rwlock"):
+        self.engine = engine
+        self.name = name
+        self._readers = 0
+        self._writer = False
+        self._waiters: Deque[tuple] = deque()  # (event, is_writer)
+
+    @property
+    def held_exclusive(self) -> bool:
+        return self._writer
+
+    @property
+    def reader_count(self) -> int:
+        return self._readers
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire_read(self) -> Event:
+        """Event firing once shared access is granted."""
+        ev = self.engine.event()
+        if not self._writer and not self._waiters:
+            self._readers += 1
+            ev.succeed()
+        else:
+            self._waiters.append((ev, False))
+        return ev
+
+    def acquire_write(self) -> Event:
+        """Event firing once exclusive access is granted."""
+        ev = self.engine.event()
+        if not self._writer and self._readers == 0 and not self._waiters:
+            self._writer = True
+            ev.succeed()
+        else:
+            self._waiters.append((ev, True))
+        return ev
+
+    def release_read(self) -> None:
+        if self._readers <= 0:
+            raise SimulationError(f"{self.name}: release_read without readers")
+        self._readers -= 1
+        self._grant()
+
+    def release_write(self) -> None:
+        if not self._writer:
+            raise SimulationError(f"{self.name}: release_write without writer")
+        self._writer = False
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiters:
+            ev, is_writer = self._waiters[0]
+            if is_writer:
+                if self._readers == 0 and not self._writer:
+                    self._waiters.popleft()
+                    self._writer = True
+                    ev.succeed()
+                return
+            if self._writer:
+                return
+            self._waiters.popleft()
+            self._readers += 1
+            ev.succeed()
+
+
+class Barrier:
+    """N-party rendezvous: the barrier trips when ``parties`` arrive."""
+
+    def __init__(self, engine: Engine, parties: int):
+        if parties < 1:
+            raise SimulationError(f"barrier parties must be >= 1, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self._arrived = 0
+        self._waiters: Deque[Event] = deque()
+
+    def wait(self) -> Event:
+        """Event that fires once all parties have arrived."""
+        ev = self.engine.event()
+        self._arrived += 1
+        if self._arrived >= self.parties:
+            self._arrived = 0
+            while self._waiters:
+                self._waiters.popleft().succeed()
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev

@@ -1,0 +1,30 @@
+"""Workloads driving the evaluation.
+
+* :mod:`repro.workloads.factory` -- build platforms and filesystems by
+  name, with the paper's default configurations.
+* :mod:`repro.workloads.fxmark` -- FxMark-style microbenchmarks
+  (private-file read/write sweeps, shared-file DWOM contention) used by
+  Figures 1, 8, 9 and 11.
+* :mod:`repro.workloads.apps` -- the eight real-world applications of
+  Table 1 / Figure 10, plus the Poisson web server + GC colocation of
+  Figures 4 and 12.
+"""
+
+from repro.workloads.factory import FS_KINDS, make_fs, make_platform, max_workers
+from repro.workloads.fxmark import (
+    FxmarkConfig,
+    FxmarkResult,
+    measure_single_op,
+    run_fxmark,
+)
+
+__all__ = [
+    "FS_KINDS",
+    "FxmarkConfig",
+    "FxmarkResult",
+    "make_fs",
+    "make_platform",
+    "max_workers",
+    "measure_single_op",
+    "run_fxmark",
+]

@@ -1,0 +1,75 @@
+"""Build platforms and filesystems by name (the §6.1 configurations)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.nova_dma import NovaDmaFS
+from repro.baselines.odinfs import OdinfsFS
+from repro.core.channel_manager import ChannelManager
+from repro.core.easyio import EasyIoFS, NaiveAsyncFS
+from repro.fs.nova import NovaFS
+from repro.fs.pmimage import PMImage
+from repro.hw.params import CostModel
+from repro.hw.platform import Platform, PlatformConfig
+
+#: The filesystems of the evaluation (Figure 8-10 series).
+FS_KINDS = ("nova", "nova-dma", "odinfs", "easyio", "naive")
+
+#: Display names matching the paper's legends.
+FS_LABELS = {
+    "nova": "NOVA",
+    "nova-dma": "NOVA-DMA",
+    "odinfs": "ODINFS",
+    "easyio": "EasyIO",
+    "naive": "Naive",
+}
+
+
+def make_platform(single_node: bool = False,
+                  model: Optional[CostModel] = None) -> Platform:
+    """The paper testbed, or the single-NUMA-node §2.2 variant."""
+    config = (PlatformConfig.single_node() if single_node
+              else PlatformConfig.paper_testbed())
+    return Platform(config, model=model)
+
+
+def make_fs(kind: str, platform: Platform, record: bool = False, **kwargs):
+    """Construct and mount the named filesystem on ``platform``."""
+    image = PMImage(record=record)
+    if kind == "nova":
+        fs = NovaFS(platform, image)
+    elif kind == "nova-dma":
+        fs = NovaDmaFS(platform, image)
+    elif kind == "odinfs":
+        fs = OdinfsFS(platform, image,
+                      delegation_cores=kwargs.pop("delegation_cores", None))
+    elif kind == "easyio":
+        cm = kwargs.pop("channel_manager", None) or ChannelManager(platform)
+        fs = EasyIoFS(platform, image, channel_manager=cm)
+    elif kind == "naive":
+        cm = kwargs.pop("channel_manager", None) or ChannelManager(platform)
+        fs = NaiveAsyncFS(platform, image, channel_manager=cm)
+    else:
+        raise ValueError(f"unknown filesystem kind {kind!r}; "
+                         f"choose from {FS_KINDS}")
+    if kwargs:
+        raise TypeError(f"unused arguments for {kind}: {sorted(kwargs)}")
+    return fs.mount()
+
+
+def max_workers(kind: str, platform: Platform) -> int:
+    """How many worker cores the filesystem leaves available.
+
+    Odinfs reserves 12 cores per NUMA node for delegation threads
+    (§6.1), so only the remainder can run application workers.
+    """
+    total = platform.config.total_cores
+    if kind == "odinfs":
+        return max(1, total - 12 * platform.config.sockets)
+    return total
+
+
+def uses_uthread_runtime(kind: str) -> bool:
+    """Whether the filesystem's clients run inside the Caladan runtime."""
+    return kind in ("easyio", "naive")

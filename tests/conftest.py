@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.hw.platform import Platform, PlatformConfig
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def platform():
+    """The paper testbed (2 sockets, 6 DIMMs, 16 channels)."""
+    return Platform(PlatformConfig.paper_testbed())
+
+
+@pytest.fixture
+def node():
+    """Single NUMA node (3 DIMMs, 8 channels) -- the §2.2 setup."""
+    return Platform(PlatformConfig.single_node())
+
+
+def run_proc(engine, gen, until=None):
+    """Run a coroutine to completion; raise its error if it failed."""
+    proc = engine.process(gen)
+    engine.run(until=until)
+    if proc.is_alive:
+        raise RuntimeError("process did not finish")
+    if not proc.ok:
+        raise proc.value
+    return proc.value

@@ -1,0 +1,107 @@
+"""Tests for metrics collection and report rendering."""
+
+import pytest
+
+from repro.analysis import LatencySeries, ThroughputMeter, Timeline
+from repro.analysis.report import banner, fmt_series, fmt_table, sparkline
+
+
+class TestLatencySeries:
+    def test_empty_series(self):
+        s = LatencySeries()
+        assert s.mean() == 0.0
+        assert s.p99() == 0.0
+        assert s.maximum() == 0.0
+        assert len(s) == 0
+
+    def test_mean(self):
+        s = LatencySeries()
+        for v in (10, 20, 30):
+            s.record(v)
+        assert s.mean() == 20
+
+    def test_percentiles_interpolate(self):
+        s = LatencySeries()
+        for v in range(1, 101):
+            s.record(v)
+        assert s.p50() == pytest.approx(50.5)
+        assert s.percentile(100) == 100
+        assert s.p99() == pytest.approx(99.01)
+
+    def test_percentile_bounds(self):
+        s = LatencySeries()
+        s.record(5)
+        with pytest.raises(ValueError):
+            s.percentile(0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_unit_helpers(self):
+        s = LatencySeries()
+        s.record(2500)
+        assert s.mean_us() == 2.5
+
+
+class TestThroughputMeter:
+    def test_counts_only_inside_window(self):
+        m = ThroughputMeter(100, 200)
+        assert not m.record(50)
+        assert m.record(150, nbytes=10)
+        assert not m.record(200)
+        assert m.ops == 1 and m.bytes == 10
+
+    def test_rates(self):
+        m = ThroughputMeter(0, 1_000_000_000)  # 1 second
+        for t in range(0, 1000, 10):
+            m.record(t, nbytes=100)
+        assert m.ops_per_sec() == pytest.approx(100)
+        assert m.bandwidth_gbps() == pytest.approx(100 * 100 / 1e9)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(5, 5)
+
+
+class TestTimeline:
+    def test_windowed_stats(self):
+        t = Timeline()
+        t.record(10, 1.0)
+        t.record(20, 5.0)
+        t.record(30, 2.0)
+        assert t.max_value() == 5.0
+        assert t.max_value(t_lo=25) == 2.0
+        assert t.mean_value(t_lo=15, t_hi=25) == 5.0
+
+    def test_bucketed_takes_max_per_bucket(self):
+        t = Timeline()
+        t.record(1, 1.0)
+        t.record(2, 9.0)
+        t.record(11, 3.0)
+        assert t.bucketed(10) == [(0, 9.0), (10, 3.0)]
+
+    def test_empty(self):
+        t = Timeline()
+        assert t.max_value() == 0.0
+        assert t.mean_value() == 0.0
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = fmt_table(["name", "value"], [["a", 1], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_series_format(self):
+        out = fmt_series("NOVA", [1, 2], [3.14159, 2.0])
+        assert "1=3.14" in out and "2=2.00" in out
+
+    def test_banner_contains_title(self):
+        assert "Figure 9" in banner("Figure 9")
+
+    def test_sparkline_length_bounded(self):
+        out = sparkline(list(range(1000)), width=50)
+        assert 0 < len(out) <= 60
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

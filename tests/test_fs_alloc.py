@@ -1,0 +1,88 @@
+"""Tests for the page allocator and its read-safe deferred frees."""
+
+import pytest
+
+from repro.fs.alloc import PageAllocator
+from repro.fs.pmimage import PMImage
+
+
+@pytest.fixture
+def alloc():
+    return PageAllocator(PMImage())
+
+
+class TestAllocate:
+    def test_fresh_ids_are_sequential(self, alloc):
+        assert alloc.allocate(3) == [0, 1, 2]
+        assert alloc.allocate(2) == [3, 4]
+
+    def test_negative_count_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.allocate(-1)
+
+    def test_zero_count(self, alloc):
+        assert alloc.allocate(0) == []
+
+    def test_recycles_freed_pages_first(self, alloc):
+        ids = alloc.allocate(4)
+        alloc.free(ids[:2])
+        again = alloc.allocate(3)
+        assert again[:2] == ids[:2]
+        assert again[2] == 4
+
+    def test_counters(self, alloc):
+        alloc.allocate(5)
+        alloc.free([0, 1])
+        assert alloc.pages_allocated == 5
+        assert alloc.pages_freed == 2
+        assert alloc.free_pages == 2
+
+
+class TestDeferredFree:
+    def test_free_with_no_readers_is_immediate(self, alloc):
+        ids = alloc.allocate(2)
+        alloc.free(ids)
+        assert alloc.free_pages == 2
+        assert alloc.deferred_pages == 0
+
+    def test_free_during_read_is_deferred(self, alloc):
+        ids = alloc.allocate(2)
+        token = alloc.reader_enter()
+        alloc.free(ids)
+        assert alloc.free_pages == 0
+        assert alloc.deferred_pages == 2
+        alloc.reader_exit(token)
+        assert alloc.free_pages == 2
+        assert alloc.deferred_pages == 0
+
+    def test_only_reads_in_flight_at_free_time_block_it(self, alloc):
+        ids = alloc.allocate(1)
+        t1 = alloc.reader_enter()
+        alloc.free(ids)
+        # A later reader must NOT block the already-parked free.
+        t2 = alloc.reader_enter()
+        alloc.reader_exit(t1)
+        assert alloc.free_pages == 1
+        alloc.reader_exit(t2)
+
+    def test_multiple_blockers_all_must_drain(self, alloc):
+        ids = alloc.allocate(1)
+        t1 = alloc.reader_enter()
+        t2 = alloc.reader_enter()
+        alloc.free(ids)
+        alloc.reader_exit(t1)
+        assert alloc.free_pages == 0
+        alloc.reader_exit(t2)
+        assert alloc.free_pages == 1
+
+    def test_deferred_page_not_reallocated_while_parked(self, alloc):
+        ids = alloc.allocate(1)
+        token = alloc.reader_enter()
+        alloc.free(ids)
+        fresh = alloc.allocate(1)
+        assert fresh != ids, "parked page was handed out while a read flies"
+        alloc.reader_exit(token)
+
+    def test_empty_free_is_noop(self, alloc):
+        alloc.free([])
+        assert alloc.pages_freed == 0

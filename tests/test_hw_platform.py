@@ -1,0 +1,116 @@
+"""Tests for platform assembly and core busy-time accounting."""
+
+import pytest
+
+from repro.hw.cpu import Core
+from repro.hw.params import DEFAULT_COST_MODEL, CostModel
+from repro.hw.platform import Platform, PlatformConfig
+from repro.sim import SimulationError
+from tests.conftest import run_proc
+
+
+class TestPlatformConfig:
+    def test_paper_testbed_shape(self):
+        cfg = PlatformConfig.paper_testbed()
+        assert cfg.total_cores == 36
+        assert cfg.total_dimms == 6
+        assert cfg.total_dma_channels == 16
+
+    def test_single_node_shape(self):
+        cfg = PlatformConfig.single_node()
+        assert cfg.sockets == 1
+        assert cfg.total_dimms == 3
+        assert cfg.total_dma_channels == 8
+
+    def test_platform_wires_components(self, platform):
+        assert len(platform.cores) == 36
+        assert len(platform.dma) == 16
+        assert platform.memory.dimms == 6
+        assert platform.cores[0].socket == 0
+        assert platform.cores[-1].socket == 1
+
+    def test_engine_capacity_scales_with_sockets(self):
+        one = Platform(PlatformConfig.single_node())
+        two = Platform(PlatformConfig.paper_testbed())
+        assert two.dma.capacity == pytest.approx(2 * one.dma.capacity)
+
+
+class TestCostModel:
+    def test_evolve_returns_modified_copy(self):
+        tweaked = DEFAULT_COST_MODEL.evolve(syscall_cost=1)
+        assert tweaked.syscall_cost == 1
+        assert DEFAULT_COST_MODEL.syscall_cost != 1
+
+    def test_describe_covers_every_field(self):
+        d = DEFAULT_COST_MODEL.describe()
+        assert "pm_write_bw_per_dimm" in d
+        assert len(d) == len(CostModel.__dataclass_fields__)
+
+    def test_cpu_write_capacity_ramps_then_collapses(self):
+        m = DEFAULT_COST_MODEL
+        caps = [m.cpu_write_capacity(6, n) for n in (1, 4, 8, 14, 24)]
+        assert caps[0] < caps[1] < caps[2] < caps[3]
+        assert caps[4] < caps[3]
+        assert all(c <= m.pm_write_peak(6) for c in caps)
+
+    def test_model_override_flows_through_platform(self):
+        model = CostModel(syscall_cost=12345)
+        plat = Platform(PlatformConfig.single_node(), model=model)
+        assert plat.model.syscall_cost == 12345
+
+
+class TestCoreAccounting:
+    def test_busy_time_accumulates(self, engine):
+        core = Core(engine, 0)
+        def body():
+            core.mark_busy("work")
+            yield engine.timeout(100)
+            core.mark_idle()
+            yield engine.timeout(50)
+            core.mark_busy("more")
+            yield engine.timeout(25)
+            core.mark_idle()
+        run_proc(engine, body())
+        assert core.busy_ns() == 125
+
+    def test_open_span_counted(self, engine):
+        core = Core(engine, 0)
+        def body():
+            core.mark_busy()
+            yield engine.timeout(60)
+        run_proc(engine, body())
+        assert core.busy_ns() == 60
+        assert core.busy
+
+    def test_double_busy_rejected(self, engine):
+        core = Core(engine, 0)
+        core.mark_busy()
+        with pytest.raises(SimulationError):
+            core.mark_busy()
+
+    def test_idle_while_idle_rejected(self, engine):
+        core = Core(engine, 0)
+        with pytest.raises(SimulationError):
+            core.mark_idle()
+
+    def test_busy_section_helper(self, engine):
+        core = Core(engine, 0)
+        def inner():
+            yield engine.timeout(40)
+            return "x"
+        def body():
+            result = yield from core.busy_section(inner(), occupant="job")
+            return result
+        assert run_proc(engine, body()) == "x"
+        assert core.busy_ns() == 40
+        assert not core.busy
+
+    def test_utilization(self, engine):
+        core = Core(engine, 0)
+        def body():
+            core.mark_busy()
+            yield engine.timeout(30)
+            core.mark_idle()
+            yield engine.timeout(70)
+        run_proc(engine, body())
+        assert core.utilization() == pytest.approx(0.3)

@@ -1,0 +1,210 @@
+"""Tests for the Caladan-like uthread runtime."""
+
+import pytest
+
+from repro.fs import NovaFS, PMImage
+from repro.core import EasyIoFS
+from repro.runtime import Compute, Runtime, Sleep, Syscall, Yield
+from repro.runtime.uthread import UthreadState
+
+
+class TestBasics:
+    def test_uthread_runs_and_returns(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        def body():
+            yield Compute(100)
+            return "ok"
+        ut = rt.spawn(body())
+        node.run()
+        assert ut.done.value == "ok"
+        assert ut.finished
+        assert rt.active_uthreads == 0
+
+    def test_compute_burns_core_time(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        def body():
+            yield Compute(10_000)
+        rt.spawn(body())
+        node.run()
+        assert node.cores[0].busy_ns() >= 10_000
+
+    def test_sleep_releases_core(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        order = []
+        def sleeper():
+            yield Sleep(5_000)
+            order.append(("sleeper", node.now))
+        def worker():
+            yield Compute(1_000)
+            order.append(("worker", node.now))
+        rt.spawn(sleeper())
+        rt.spawn(worker())
+        node.run()
+        # The worker runs while the sleeper is parked.
+        assert order[0][0] == "worker"
+
+    def test_yield_round_robins(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        order = []
+        def worker(name):
+            for _ in range(3):
+                order.append(name)
+                yield Yield()
+        rt.spawn(worker("a"), core=0)
+        rt.spawn(worker("b"), core=0)
+        node.run()
+        assert order[:4] == ["a", "b", "a", "b"]
+
+    def test_uthread_exception_propagates(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        def bad():
+            yield Compute(10)
+            raise ValueError("app bug")
+        rt.spawn(bad())
+        with pytest.raises(ValueError, match="app bug"):
+            node.run()
+
+    def test_unknown_effect_rejected(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        def bad():
+            yield "what"
+        rt.spawn(bad())
+        with pytest.raises(TypeError):
+            node.run()
+
+    def test_drain_event(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        def body():
+            yield Compute(500)
+        rt.spawn(body())
+        fired = []
+        rt.drain().add_callback(lambda _e: fired.append(node.now))
+        node.run()
+        assert len(fired) == 1
+
+    def test_runtime_requires_cores(self, node):
+        with pytest.raises(ValueError):
+            Runtime(node, cores=[])
+
+
+class TestSyscalls:
+    def test_sync_syscall_resumes_same_uthread(self, node):
+        fs = NovaFS(node, PMImage()).mount()
+        rt = Runtime(node, cores=node.cores[:1])
+        steps = []
+        def body():
+            ino = yield Syscall(lambda ctx: fs.create(ctx, "/f"))
+            steps.append("created")
+            result = yield Syscall(lambda ctx: fs.write(ctx, ino, 0, 4096))
+            steps.append(result.value)
+        rt.spawn(body())
+        node.run()
+        assert steps == ["created", 4096]
+
+    def test_async_syscall_parks_until_completion(self, node):
+        fs = EasyIoFS(node).mount()
+        rt = Runtime(node, cores=node.cores[:1])
+        out = {}
+        def body():
+            ino = yield Syscall(lambda ctx: fs.create(ctx, "/f"))
+            result = yield Syscall(lambda ctx: fs.write(ctx, ino, 0, 65536))
+            # By the time the uthread resumes, the DMA has finished.
+            out["pending_done"] = result.pending.processed
+            out["value"] = result.value
+        ut = rt.spawn(body())
+        node.run()
+        assert out == {"pending_done": True, "value": 65536}
+        assert ut.parks >= 1
+
+    def test_core_interleaves_compute_during_async_io(self, node):
+        """The whole point of EasyIO: another uthread's compute fills
+        the core while a write's DMA is in flight."""
+        fs = EasyIoFS(node).mount()
+        rt = Runtime(node, cores=node.cores[:1])
+        trace = []
+        def io_worker():
+            ino = yield Syscall(lambda ctx: fs.create(ctx, "/f"))
+            for _ in range(3):
+                yield Syscall(lambda ctx: fs.write(ctx, ino, 0, 65536))
+                trace.append(("io", node.now))
+        def compute_worker():
+            for _ in range(20):
+                yield Compute(2_000)
+                trace.append(("cpu", node.now))
+                yield Yield()
+        rt.spawn(io_worker(), core=0)
+        rt.spawn(compute_worker(), core=0)
+        node.run()
+        kinds = [k for k, _t in trace]
+        first_io_done = kinds.index("io")
+        assert "cpu" in kinds[:first_io_done], \
+            "compute should interleave with the in-flight write"
+
+
+class TestWorkStealing:
+    def test_idle_core_steals_runnable_work(self, node):
+        rt = Runtime(node, cores=node.cores[:2], steal=True)
+        ran_on = []
+        def worker(i):
+            yield Compute(5_000)
+            ran_on.append(i)
+        # Pile every uthread onto core 0; core 1 must steal some.
+        for i in range(6):
+            rt.spawn(worker(i), core=0)
+        node.run()
+        assert len(ran_on) == 6
+        assert rt.schedulers[1].steals > 0
+        assert node.cores[1].busy_ns() > 0
+
+    def test_stealing_disabled_keeps_work_local(self, node):
+        rt = Runtime(node, cores=node.cores[:2], steal=False)
+        def worker():
+            yield Compute(5_000)
+        for _ in range(6):
+            rt.spawn(worker(), core=0)
+        node.run()
+        assert rt.schedulers[1].steals == 0
+        assert node.cores[1].busy_ns() == 0
+
+    def test_completed_io_preferred_over_fresh(self, node):
+        fs = EasyIoFS(node).mount()
+        rt = Runtime(node, cores=node.cores[:1], steal=False)
+        order = []
+        def io_worker():
+            ino = yield Syscall(lambda ctx: fs.create(ctx, "/f"))
+            yield Syscall(lambda ctx: fs.write(ctx, ino, 0, 65536))
+            order.append("io-resumed")
+        def fresh(i):
+            for lap in range(3):
+                yield Compute(3_000)
+                order.append(f"fresh{i}.{lap}")
+                yield Yield()
+        rt.spawn(io_worker(), core=0)
+        for i in range(4):
+            rt.spawn(fresh(i), core=0)
+        node.run()
+        # The parked io uthread resumes before the fresh compute
+        # uthreads have finished all their later slices.
+        assert order.index("io-resumed") < len(order) - 1
+
+
+class TestAccounting:
+    def test_switch_counter(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        def w():
+            yield Yield()
+            yield Yield()
+        rt.spawn(w())
+        rt.spawn(w())
+        node.run()
+        assert rt.total_switches() >= 4
+
+    def test_core_idle_when_nothing_runnable(self, node):
+        rt = Runtime(node, cores=node.cores[:1])
+        def body():
+            yield Sleep(50_000)   # long park; core should go idle
+            yield Compute(100)
+        rt.spawn(body())
+        node.run()
+        busy = node.cores[0].busy_ns()
+        assert busy < 10_000, f"core busy {busy}ns during a pure sleep"

@@ -1,0 +1,243 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt, SimulationError
+from tests.conftest import run_proc
+
+
+class TestEngineBasics:
+    def test_clock_starts_at_zero(self, engine):
+        assert engine.now == 0
+
+    def test_timeout_advances_clock(self, engine):
+        def body():
+            yield engine.timeout(123)
+        run_proc(engine, body())
+        assert engine.now == 123
+
+    def test_zero_timeout_fires_at_same_time(self, engine):
+        def body():
+            yield engine.timeout(0)
+        run_proc(engine, body())
+        assert engine.now == 0
+
+    def test_negative_timeout_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.timeout(-1)
+
+    def test_run_until_advances_clock_even_when_queue_drains(self, engine):
+        engine.run(until=500)
+        assert engine.now == 500
+
+    def test_run_until_does_not_fire_later_events(self, engine):
+        fired = []
+        def body():
+            yield engine.timeout(1000)
+            fired.append(engine.now)
+        engine.process(body())
+        engine.run(until=400)
+        assert fired == []
+        engine.run()
+        assert fired == [1000]
+
+    def test_peek_reports_next_event_time(self, engine):
+        engine.timeout(77)
+        assert engine.peek() == 77
+
+    def test_reentrant_run_rejected(self, engine):
+        def body():
+            engine.run()
+            yield engine.timeout(1)
+        with pytest.raises(SimulationError):
+            run_proc(engine, body())
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, engine):
+        ev = engine.event()
+        got = []
+        def body():
+            got.append((yield ev))
+        engine.process(body())
+        ev.succeed(42)
+        engine.run()
+        assert got == [42]
+
+    def test_double_succeed_rejected(self, engine):
+        ev = engine.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, engine):
+        ev = engine.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_fail_throws_into_waiter(self, engine):
+        ev = engine.event()
+        def body():
+            with pytest.raises(ValueError):
+                yield ev
+            return "handled"
+        proc = engine.process(body())
+        ev.fail(ValueError("boom"))
+        engine.run()
+        assert proc.value == "handled"
+
+    def test_callback_after_processed_runs_immediately(self, engine):
+        ev = engine.event()
+        ev.succeed(7)
+        engine.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_event_states(self, engine):
+        ev = engine.event()
+        assert not ev.triggered and not ev.processed
+        ev.succeed(1)
+        assert ev.triggered and not ev.processed
+        engine.run()
+        assert ev.processed
+
+
+class TestProcesses:
+    def test_return_value_becomes_event_value(self, engine):
+        def body():
+            yield engine.timeout(5)
+            return "done"
+        assert run_proc(engine, body()) == "done"
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self, engine):
+        def body():
+            yield 42
+        proc = engine.process(body())
+        with pytest.raises(SimulationError):
+            engine.run()
+        assert not proc.ok
+
+    def test_unhandled_process_exception_surfaces(self, engine):
+        def body():
+            yield engine.timeout(1)
+            raise RuntimeError("kaput")
+        engine.process(body())
+        with pytest.raises(RuntimeError, match="kaput"):
+            engine.run()
+
+    def test_waiter_observes_process_failure(self, engine):
+        def child():
+            yield engine.timeout(1)
+            raise RuntimeError("child died")
+        def parent():
+            with pytest.raises(RuntimeError):
+                yield engine.process(child())
+            return "survived"
+        assert run_proc(engine, parent()) == "survived"
+
+    def test_process_waits_on_subprocess_value(self, engine):
+        def child():
+            yield engine.timeout(10)
+            return 99
+        def parent():
+            value = yield engine.process(child())
+            return value + 1
+        assert run_proc(engine, parent()) == 100
+
+    def test_interrupt_delivers_cause(self, engine):
+        def body():
+            try:
+                yield engine.timeout(1000)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, engine.now)
+        proc = engine.process(body())
+        def killer():
+            yield engine.timeout(10)
+            proc.interrupt("reason")
+        engine.process(killer())
+        engine.run()
+        # The abandoned timeout still drains at t=1000 (no cancellation,
+        # as in SimPy), but the interrupt arrived at t=10.
+        assert proc.value == ("interrupted", "reason", 10)
+
+    def test_interrupt_finished_process_rejected(self, engine):
+        def body():
+            yield engine.timeout(1)
+        proc = engine.process(body())
+        engine.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+
+class TestCompositeEvents:
+    def test_any_of_fires_on_first(self, engine):
+        def body():
+            result = yield engine.any_of([engine.timeout(50, "a"),
+                                          engine.timeout(10, "b")])
+            return (sorted(result.values()), engine.now)
+        assert run_proc(engine, body()) == (["b"], 10)
+
+    def test_all_of_waits_for_every_event(self, engine):
+        def body():
+            result = yield engine.all_of([engine.timeout(50, "a"),
+                                          engine.timeout(10, "b")])
+            return sorted(result.values())
+        assert run_proc(engine, body()) == ["a", "b"]
+        assert engine.now == 50
+
+    def test_all_of_empty_fires_immediately(self, engine):
+        def body():
+            result = yield engine.all_of([])
+            return result
+        assert run_proc(engine, body()) == {}
+
+    def test_any_of_same_instant_collects_all_fired(self, engine):
+        def body():
+            result = yield engine.any_of([engine.timeout(5, "x"),
+                                          engine.timeout(5, "y")])
+            return set(result.values())
+        # Both fire at t=5; the first processed triggers AnyOf, which
+        # reports at least that one.
+        assert "x" in run_proc(engine, body())
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self, engine):
+        order = []
+        for tag in ("first", "second", "third"):
+            ev = engine.timeout(10, tag)
+            ev.add_callback(lambda e: order.append(e.value))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_identical_runs_produce_identical_traces(self):
+        def trace():
+            eng = Engine()
+            log = []
+            def worker(name, period, count):
+                for _ in range(count):
+                    yield eng.timeout(period)
+                    log.append((eng.now, name))
+            for i in range(5):
+                eng.process(worker(f"w{i}", 7 + i, 20))
+            eng.run()
+            return log
+        assert trace() == trace()
+
+    def test_call_at_runs_at_absolute_time(self, engine):
+        hits = []
+        engine.call_at(250, lambda: hits.append(engine.now))
+        engine.run()
+        assert hits == [250]
+
+    def test_call_at_past_rejected(self, engine):
+        def body():
+            yield engine.timeout(100)
+        run_proc(engine, body())
+        with pytest.raises(SimulationError):
+            engine.call_at(50, lambda: None)

@@ -1,0 +1,173 @@
+"""Tests for the workload drivers (FxMark, apps, hardware bench)."""
+
+import pytest
+
+from repro.workloads import (
+    FS_KINDS,
+    FxmarkConfig,
+    make_fs,
+    make_platform,
+    max_workers,
+    measure_single_op,
+    run_fxmark,
+)
+from repro.workloads.apps import APPS, run_app, run_webserver_gc
+from repro.workloads.hwbench import measure_copy_bandwidth, measure_interference
+
+
+class TestFactory:
+    def test_all_kinds_construct_and_mount(self):
+        for kind in FS_KINDS:
+            fs = make_fs(kind, make_platform())
+            assert fs._mounted
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_fs("zfs", make_platform())
+
+    def test_odinfs_worker_budget(self):
+        plat = make_platform()
+        assert max_workers("odinfs", plat) == plat.config.total_cores - 24
+        assert max_workers("nova", plat) == plat.config.total_cores
+
+    def test_platform_shapes(self):
+        paper = make_platform()
+        assert paper.config.total_cores == 36
+        assert paper.config.total_dimms == 6
+        assert len(paper.dma) == 16
+        node = make_platform(single_node=True)
+        assert node.config.total_dimms == 3
+
+
+class TestFxmarkDriver:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FxmarkConfig(op="erase")
+        with pytest.raises(ValueError):
+            FxmarkConfig(io_size=1000)
+        with pytest.raises(ValueError):
+            FxmarkConfig(io_size=1 << 30)
+
+    def test_sync_run_produces_samples(self):
+        r = run_fxmark(FxmarkConfig(kind="nova", op="write", io_size=16384,
+                                    workers=2, duration_us=400,
+                                    warmup_us=100))
+        assert r.total_ops > 10
+        assert r.latency.count > 10
+        assert r.throughput_ops > 0
+        assert 0 < r.cpu_busy_fraction <= 1.0
+
+    def test_uthread_run_produces_samples(self):
+        r = run_fxmark(FxmarkConfig(kind="easyio", op="write", io_size=16384,
+                                    workers=2, duration_us=400,
+                                    warmup_us=100))
+        assert r.total_ops > 10
+
+    def test_read_workload(self):
+        r = run_fxmark(FxmarkConfig(kind="nova", op="read", io_size=16384,
+                                    workers=2, duration_us=400,
+                                    warmup_us=100))
+        assert r.total_ops > 10
+
+    def test_shared_file_contention_lowers_throughput(self):
+        private = run_fxmark(FxmarkConfig(kind="nova", op="write",
+                                          io_size=16384, workers=4,
+                                          duration_us=500, warmup_us=100))
+        shared = run_fxmark(FxmarkConfig(kind="nova", op="write",
+                                         io_size=16384, workers=4,
+                                         shared=True, duration_us=500,
+                                         warmup_us=100))
+        assert shared.throughput_ops < private.throughput_ops
+
+    def test_naive_shared_two_uthreads_deadlocks(self):
+        """The §3 deadlock: Naive holds the lock across scheduling."""
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_fxmark(FxmarkConfig(kind="naive", op="write", io_size=16384,
+                                    workers=2, shared=True, duration_us=300,
+                                    warmup_us=100, uthreads_per_core=2,
+                                    steal=False))
+
+    def test_single_op_probe(self):
+        lat, cpu, bd = measure_single_op("nova", "write", 16384, repeats=4)
+        assert lat > 0 and cpu == pytest.approx(lat)
+        assert set(bd) >= {"metadata", "memcpy", "indexing", "syscall"}
+
+
+class TestApps:
+    def test_table1_sizes_are_exact(self):
+        assert APPS["snappy"].read_bytes == 910 * 1024
+        assert APPS["snappy"].write_bytes == 1900 * 1024
+        assert APPS["jpgdecoder"].read_bytes == 343 * 1024
+        assert APPS["aes"].read_bytes == 64 * 1024
+        assert APPS["grep"].read_bytes == 2 * 1024 * 1024
+        assert APPS["grep"].write_bytes == 0
+        assert APPS["webserver"].write_every == 10
+        assert APPS["webserver"].rw_ratio == "10:1"
+        assert APPS["grep"].rw_ratio == "1:0"
+
+    def test_app_run_produces_throughput(self):
+        r = run_app("nova", "grep", cores=2, duration_us=4000,
+                    warmup_us=1000)
+        assert r.total_ops > 0
+        assert r.throughput_ops > 0
+
+    def test_easyio_beats_nova_on_io_bound_app(self):
+        nova = run_app("nova", "bfs", cores=2, duration_us=6000,
+                       warmup_us=1000)
+        easy = run_app("easyio", "bfs", cores=2, duration_us=6000,
+                       warmup_us=1000)
+        assert easy.throughput_ops > nova.throughput_ops * 1.3
+
+    def test_fileserver_cycle_runs(self):
+        r = run_app("easyio", "fileserver", cores=2, duration_us=4000,
+                    warmup_us=1000)
+        assert r.total_ops > 0
+
+    def test_webserver_shared_log_runs(self):
+        r = run_app("nova", "webserver", cores=2, duration_us=2000,
+                    warmup_us=500)
+        assert r.total_ops > 0
+
+    def test_colocation_modes(self):
+        for mode in ("none", "cpu", "dma"):
+            r = run_webserver_gc(mode, duration_us=3000)
+            assert len(r.timeline) > 0
+        with pytest.raises(ValueError):
+            run_webserver_gc("magic", duration_us=1000)
+
+
+class TestHwBench:
+    def test_memcpy_bandwidth_positive(self):
+        bp = measure_copy_bandwidth("memcpy", write=True, cores=2,
+                                    io_size=16384, duration_us=200)
+        assert bp.bandwidth_gbps > 0
+
+    def test_dma_one_core_write_beats_memcpy_one_core(self):
+        """Fig 2 observation ①."""
+        dma = measure_copy_bandwidth("dma", write=True, cores=1,
+                                     io_size=65536, duration_us=300)
+        mcp = measure_copy_bandwidth("memcpy", write=True, cores=1,
+                                     io_size=65536, duration_us=300)
+        assert dma.bandwidth_gbps > mcp.bandwidth_gbps
+
+    def test_dma_4k_underperforms_memcpy_peak(self):
+        """Fig 2 observation ③."""
+        dma = measure_copy_bandwidth("dma", write=True, cores=4,
+                                     io_size=4096, batch=4, duration_us=300)
+        mcp = measure_copy_bandwidth("memcpy", write=True, cores=6,
+                                     io_size=4096, duration_us=300)
+        assert dma.bandwidth_gbps < mcp.bandwidth_gbps
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            measure_copy_bandwidth("rdma", True, 1, 4096)
+
+    def test_interference_sh_worse_than_ex(self):
+        """Fig 4: sharing the foreground channel head-of-line blocks."""
+        ex = measure_interference("dma-ex", duration_us=8000)
+        sh = measure_interference("dma-sh", duration_us=8000)
+        assert sh.fg_max_us(during_gc=True) > ex.fg_max_us(during_gc=True) * 3
+
+    def test_interference_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            measure_interference("bg-what")
