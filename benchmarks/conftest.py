@@ -9,9 +9,6 @@ absolute numbers come from a calibrated simulator, not the authors'
 testbed, and are not expected to match exactly.
 """
 
-import pytest
-
-
 def run_once(benchmark, fn):
     """Run the experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

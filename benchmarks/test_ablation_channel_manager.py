@@ -16,7 +16,6 @@ from repro.analysis.report import banner, fmt_table
 from repro.core.channel_manager import ChannelManager
 from repro.workloads import FxmarkConfig, run_fxmark
 from repro.workloads.factory import make_platform
-from repro.workloads.fxmark import _prepare_file, run_to_completion
 
 
 def throttled_bulk_rate(split_bytes, limit=0.5, duration_us=600):

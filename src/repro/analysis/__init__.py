@@ -6,10 +6,12 @@ renders the text tables and series the benchmark harness prints for
 each reproduced figure/table.
 """
 
-from repro.analysis.metrics import LatencySeries, Timeline, ThroughputMeter
+from repro.analysis.metrics import (FaultStats, LatencySeries, Timeline,
+                                    ThroughputMeter)
 from repro.analysis.report import fmt_table, fmt_series, banner
 
 __all__ = [
+    "FaultStats",
     "LatencySeries",
     "ThroughputMeter",
     "Timeline",

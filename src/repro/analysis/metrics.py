@@ -1,9 +1,47 @@
-"""Latency, throughput, and time-series collection."""
+"""Latency, throughput, time-series, and fault-tolerance accounting."""
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class FaultStats:
+    """Counters for the fault-tolerance paths (availability reporting).
+
+    One instance is shared by the channel manager and the filesystem's
+    supervisors, so a benchmark reads a single coherent picture of what
+    the fault plan cost: how many descriptors failed, how many retries/
+    failovers fixed them, how much work fell back to the memcpy path,
+    and how many media faults the checksum hook caught.
+    """
+
+    transfer_errors: int = 0        # failed descriptors observed
+    channel_halts: int = 0          # CHANERR interrupts taken
+    channel_resets: int = 0         # reset() recoveries issued
+    quarantines: int = 0            # channels pulled from rotation
+    readmissions: int = 0           # probe successes returning a channel
+    retries: int = 0                # descriptor resubmissions
+    failovers: int = 0              # resubmissions landing on a new channel
+    degraded_writes: int = 0        # writes that fell back to memcpy
+    degraded_reads: int = 0         # reads that fell back to memcpy
+    degraded_bytes: int = 0         # bytes moved on the fallback path
+    media_faults_detected: int = 0  # checksum mismatches caught & rewritten
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def any_faults(self) -> bool:
+        return any(self.as_dict().values())
+
+    @staticmethod
+    def availability(completed_ops: int, failed_ops: int = 0) -> float:
+        """Fraction of operations that completed (1.0 = no data loss)."""
+        total = completed_ops + failed_ops
+        return completed_ops / total if total else 1.0
 
 
 class LatencySeries:

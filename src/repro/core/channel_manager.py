@@ -19,14 +19,22 @@ Responsibilities, exactly as the paper assigns them:
 * **Read admission control (Listing 2)** -- a read is offloaded only
   if it is larger than 4 KB and some L-channel has queue depth < 2;
   otherwise it is shunted to memcpy for aggregate read bandwidth.
+* **Channel health (fault tolerance)** -- the manager tracks per-channel
+  consecutive errors, handles CHANERR interrupts (detect -> reset ->
+  quarantine), probes quarantined channels with a small descriptor and
+  readmits them on success, and routes traffic around unhealthy
+  channels.  When *no* healthy channel remains, selection returns None
+  and the filesystem gracefully degrades to the memcpy path -- the
+  system stays live at reduced CPU-efficiency instead of wedging.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.hw.dma import DmaChannel
+from repro.analysis.metrics import FaultStats
+from repro.hw.dma import DmaChannel, DmaDescriptor
 from repro.hw.platform import Platform
 
 
@@ -67,6 +75,15 @@ class AppProfile:
         return (self.slo_ns - self.latency_ewma) / self.slo_ns
 
 
+@dataclass
+class ChannelHealth:
+    """Per-channel health record the manager maintains."""
+
+    consecutive_errors: int = 0
+    total_errors: int = 0
+    quarantined: bool = False
+
+
 class ChannelManager:
     """Mediates between applications and DMA channels."""
 
@@ -85,7 +102,24 @@ class ChannelManager:
                  b_limit: float = 2.0,
                  b_limit_min: float = 0.25,
                  b_limit_max: float = 12.0,
-                 throttling: bool = False):
+                 throttling: bool = False,
+                 quarantine_threshold: int = 3,
+                 probe_interval_ns: int = 50_000,
+                 reset_delay_ns: int = 5_000):
+        if split_bytes <= 0:
+            raise ValueError(
+                f"split_bytes must be positive, got {split_bytes}")
+        if offload_threshold < 0:
+            raise ValueError(
+                f"offload_threshold must be >= 0, got {offload_threshold}")
+        if epoch_ns <= 0:
+            raise ValueError(f"epoch_ns must be positive, got {epoch_ns}")
+        if quarantine_threshold < 1:
+            raise ValueError(f"quarantine_threshold must be >= 1, "
+                             f"got {quarantine_threshold}")
+        if probe_interval_ns <= 0 or reset_delay_ns < 0:
+            raise ValueError("probe_interval_ns must be positive and "
+                             "reset_delay_ns non-negative")
         self.platform = platform
         self.engine = platform.engine
         self.model = platform.model
@@ -113,6 +147,18 @@ class ChannelManager:
         self.limit_changes: List = []       # (t, new_limit) trace
         self._stopped = False
         self._throttling = throttling
+        # -- fault tolerance -------------------------------------------
+        self.quarantine_threshold = quarantine_threshold
+        self.probe_interval_ns = probe_interval_ns
+        self.reset_delay_ns = reset_delay_ns
+        self.fault_stats = FaultStats()
+        self._managed: List[DmaChannel] = list(self.l_channels)
+        if self.b_channel not in self._managed:
+            self._managed.append(self.b_channel)
+        self._health: Dict[int, ChannelHealth] = {
+            ch.channel_id: ChannelHealth() for ch in self._managed}
+        for ch in self._managed:
+            ch.on_halt = self._on_halt
         if throttling:
             self.engine.process(self._regulation_loop(), name="channel-manager")
 
@@ -124,29 +170,148 @@ class ChannelManager:
         return app
 
     # ------------------------------------------------------------------
+    # Channel health (fault tolerance)
+    # ------------------------------------------------------------------
+    def healthy(self, ch: DmaChannel) -> bool:
+        """Is the channel usable for new traffic right now?"""
+        if ch.halted:
+            return False
+        health = self._health.get(ch.channel_id)
+        return health is None or not health.quarantined
+
+    def note_error(self, ch: DmaChannel) -> None:
+        """A descriptor on ``ch`` failed (soft transfer error).
+
+        Crossing the consecutive-error threshold quarantines the
+        channel and starts its probe/readmit loop.
+        """
+        self.fault_stats.transfer_errors += 1
+        health = self._health.get(ch.channel_id)
+        if health is None:
+            return
+        health.consecutive_errors += 1
+        health.total_errors += 1
+        if (health.consecutive_errors >= self.quarantine_threshold
+                and not health.quarantined):
+            self._quarantine(ch, health)
+
+    def note_success(self, ch: DmaChannel) -> None:
+        """A descriptor on ``ch`` completed: clear its error streak."""
+        health = self._health.get(ch.channel_id)
+        if health is not None:
+            health.consecutive_errors = 0
+
+    def _quarantine(self, ch: DmaChannel, health: ChannelHealth) -> None:
+        health.quarantined = True
+        self.fault_stats.quarantines += 1
+        self.engine.process(self._probe_loop(ch),
+                            name=f"cm-probe-ch{ch.channel_id}")
+
+    def _on_halt(self, ch: DmaChannel) -> None:
+        """CHANERR interrupt: schedule detection + reset + quarantine."""
+        self.fault_stats.channel_halts += 1
+        health = self._health.get(ch.channel_id)
+        if health is not None:
+            health.consecutive_errors += 1
+            health.total_errors += 1
+        self.engine.process(self._recover_channel(ch),
+                            name=f"cm-reset-ch{ch.channel_id}")
+
+    def _recover_channel(self, ch: DmaChannel):
+        """Software CHANERR handling: read the error, reset the ring.
+
+        The stranded descriptors' done events fire with status
+        "stranded"; their owning writes' supervisors resubmit them
+        elsewhere.  The channel goes into quarantine until a probe
+        succeeds.
+        """
+        if self.reset_delay_ns:
+            yield self.engine.timeout(self.reset_delay_ns)
+        if self._stopped or not ch.halted:
+            return
+        ch.reset()
+        self.fault_stats.channel_resets += 1
+        health = self._health.get(ch.channel_id)
+        if health is not None and not health.quarantined:
+            self._quarantine(ch, health)
+
+    def _probe_loop(self, ch: DmaChannel):
+        """Periodically probe a quarantined channel; readmit on success."""
+        health = self._health[ch.channel_id]
+        while not self._stopped:
+            yield self.engine.timeout(self.probe_interval_ns)
+            if self._stopped:
+                return
+            if ch.halted:
+                continue  # reset still pending
+            probe = DmaDescriptor(4096, write=True,
+                                  tag=("probe", ch.channel_id))
+            if not ch.try_submit_one(probe):
+                continue  # ring full; try again next interval
+            yield probe.done
+            if probe.status == "ok":
+                health.quarantined = False
+                health.consecutive_errors = 0
+                self.fault_stats.readmissions += 1
+                return
+            health.total_errors += 1
+
+    # ------------------------------------------------------------------
     # Channel selection policies
     # ------------------------------------------------------------------
-    def write_channel(self, app: Optional[AppProfile]) -> DmaChannel:
-        """Channel for a write: B-apps share one, L-apps spread over <=4."""
+    def write_channel(self, app: Optional[AppProfile]) -> Optional[DmaChannel]:
+        """Channel for a write: B-apps share one, L-apps spread over <=4.
+
+        Only healthy channels are eligible; a B-app whose channel is
+        out borrows a healthy L channel (and vice versa) rather than
+        wedging.  Returns None when no healthy channel exists -- the
+        caller degrades to memcpy.
+        """
+        healthy_l = [c for c in self.l_channels if self.healthy(c)]
+        b_ok = self.healthy(self.b_channel)
         if app is not None and app.kind == "B":
-            return self.b_channel
-        return min(self.l_channels,
-                   key=lambda c: (c.queue_depth, c.channel_id))
+            if b_ok:
+                return self.b_channel
+            return (min(healthy_l, key=lambda c: (c.queue_depth, c.channel_id))
+                    if healthy_l else None)
+        if healthy_l:
+            return min(healthy_l, key=lambda c: (c.queue_depth, c.channel_id))
+        return self.b_channel if b_ok else None
 
     def admit_read(self, nbytes: int,
                    app: Optional[AppProfile] = None) -> Optional[DmaChannel]:
         """Listing 2: offload a read only when it is worth it.
 
         Returns the channel to use, or None meaning "use memcpy".
+        Unhealthy channels are never admitted (the memcpy path is the
+        natural fallback for reads).
         """
         if nbytes <= self.offload_threshold:
             return None
         if app is not None and app.kind == "B":
-            return self.b_channel
+            return self.b_channel if self.healthy(self.b_channel) else None
         for ch in self.l_channels:
-            if ch.queue_depth < self.READ_QDEPTH_LIMIT:
+            if self.healthy(ch) and ch.queue_depth < self.READ_QDEPTH_LIMIT:
                 return ch
         return None
+
+    def retry_channel(self, app: Optional[AppProfile],
+                      failed: DmaChannel,
+                      soft: bool) -> Optional[DmaChannel]:
+        """Where to resubmit a failed descriptor.
+
+        A soft transfer error retries on the same channel while it
+        remains healthy; a halt/strand (or an unhealthy channel) fails
+        over to the least-loaded healthy channel.  Returns None when no
+        healthy channel exists (degrade to memcpy).
+        """
+        if soft and self.healthy(failed):
+            return failed
+        pool = [c for c in self._managed
+                if c is not failed and self.healthy(c)]
+        if pool:
+            return min(pool, key=lambda c: (c.queue_depth, c.channel_id))
+        return failed if self.healthy(failed) else None
 
     def should_offload_write(self, nbytes: int) -> bool:
         """Selective offloading: memcpy for small I/O."""
@@ -202,10 +367,17 @@ class ChannelManager:
             if allowance < 0 and not self.b_channel.suspended:
                 # CHANCMD suspend: 74 ns, paid by the manager.
                 yield self.engine.timeout(self.model.dma_chancmd_cost)
+                # Re-check after the in-flight CHANCMD: stop() may have
+                # fired meanwhile, and suspending now would leave the B
+                # channel suspended forever (nobody resumes it again).
+                if self._stopped:
+                    return
                 self.b_channel.suspend()
                 self.throttle_events += 1
             elif allowance >= 0 and self.b_channel.suspended:
                 yield self.engine.timeout(self.model.dma_chancmd_cost)
+                if self._stopped:
+                    return
                 self.b_channel.resume()
             ticks += 1
             if ticks % self.subticks:

@@ -17,6 +17,19 @@ mirrors the paper's <50-line NOVA patch:
   completion buffers do not cover (wired via
   :func:`repro.fs.recovery.completion_buffer_validator`).
 
+Fault tolerance (active when a :class:`~repro.faults.FaultPlan` is
+installed, or forced via ``fault_tolerant=True``): every offloaded
+operation gets a *supervisor* process that watches its descriptors.
+Failed descriptors are retried with bounded exponential backoff
+(sim-time); descriptors lost to a channel halt fail over to a healthy
+channel; when no healthy channel remains the supervisor degrades to
+the memcpy path.  SN-safety: failed/stranded SNs are persisted as
+poisoned *before* any later completion can cover them (the hardware
+reports them through ``on_error``/``on_reset`` first), and after a
+failover the committed log entry's SN field is amended to the new
+(channel, sn) pairs -- so the recovery validator stays sound at every
+crash point inside the retry/failover window.
+
 :class:`NaiveAsyncFS` is the §6.4 ablation: asynchronous DMA offload
 *without* orderless operation or two-level locking -- data and metadata
 strictly ordered into two syscalls, the file lock held across the gap.
@@ -28,34 +41,94 @@ from typing import List, Optional, Tuple
 
 from repro.core.channel_manager import AppProfile, ChannelManager
 from repro.fs.nova import NovaFS, OpContext, OpResult
-from repro.fs.pmimage import PMImage
+from repro.fs.pmimage import ELIDED, PMImage
 from repro.fs.structures import PAGE_SIZE, MemInode
 from repro.hw.dma import DmaChannel, DmaDescriptor
 from repro.hw.platform import Platform
 
 
+class _DmaJob:
+    """One descriptor's worth of an offloaded operation, retryable.
+
+    ``final`` is None while unresolved, the achieved ``(channel, sn)``
+    pair once its data landed via DMA, or ``()`` when the job was
+    degraded to the memcpy path (contributing no SN).
+    """
+
+    __slots__ = ("desc", "channel", "nbytes", "write", "pids", "contents",
+                 "final")
+
+    def __init__(self, desc: DmaDescriptor, channel: DmaChannel,
+                 write: bool, pids=None, contents=None):
+        self.desc = desc
+        self.channel = channel
+        self.nbytes = desc.nbytes
+        self.write = write
+        self.pids = pids
+        self.contents = contents
+        self.final = None
+
+
 class EasyIoFS(NovaFS):
     """NOVA + EasyIO: asynchronous read()/write() with orderless
-    metadata and two-level locking."""
+    metadata, two-level locking, and fault-tolerant offload."""
 
     name = "EasyIO"
 
+    #: Bounded exponential backoff for descriptor retries (sim-time).
+    DMA_RETRY_MAX = 4
+    DMA_RETRY_BASE_NS = 2_000
+    DMA_RETRY_CAP_NS = 64_000
+    #: Give up on a page after this many checksum-verify rewrites.
+    MEDIA_REWRITE_MAX = 8
+
     def __init__(self, platform: Platform, image: Optional[PMImage] = None,
-                 channel_manager: Optional[ChannelManager] = None):
+                 channel_manager: Optional[ChannelManager] = None,
+                 fault_tolerant: Optional[bool] = None):
         super().__init__(platform, image)
         self.cm = channel_manager or ChannelManager(platform)
         self.dma_writes = 0
         self.dma_reads = 0
         self.memcpy_reads = 0
         self.memcpy_writes = 0
+        #: None = auto: supervise offloaded ops iff a fault plan is
+        #: installed on the hardware or the image.  True/False forces.
+        self.fault_tolerant = fault_tolerant
+        self._ft_seen = False
         # EasyIO places completion buffers in a persistent region
         # (§4.2): every completion-buffer update is a durable store.
+        # Failed/stranded SNs are likewise persisted (poisoned) the
+        # instant the hardware reports them -- before any later
+        # completion can cover them.
         for ch in platform.dma.channels:
             ch.on_completion = self._persist_completion
+            ch.on_error = self._persist_channel_errors
+            ch.on_reset = self._persist_channel_errors
+
+    @property
+    def fault_stats(self):
+        """Shared fault/retry/degradation counters (see FaultStats)."""
+        return self.cm.fault_stats
 
     def _persist_completion(self, channel: DmaChannel) -> None:
         self.image.update_completion_buffer(channel.channel_id,
                                             channel.completion_sn)
+
+    def _persist_channel_errors(self, channel: DmaChannel, sns) -> None:
+        self.image.record_channel_errors(channel.channel_id, tuple(sns))
+
+    def _supervised(self) -> bool:
+        """Should offloaded ops run under a fault supervisor?"""
+        if self.fault_tolerant is not None:
+            return self.fault_tolerant
+        if self._ft_seen:
+            return True
+        if (self.image.fault_plan is not None
+                or any(ch.fault_plan is not None
+                       for ch in self.platform.dma.channels)):
+            self._ft_seen = True
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Two-level locking (§4.3)
@@ -67,7 +140,21 @@ class EasyIoFS(NovaFS):
         hardware-driven and always makes progress (no deadlock).  The
         wait spins inside the syscall, so it costs CPU -- which is why
         high-contention workloads cap EasyIO's benefit (§6.6).
+
+        Under fault supervision the wait targets the supervisor's
+        all-data-landed event instead of the raw completion buffer: a
+        halted channel's completion may never arrive, but the
+        supervisor always resolves (retry, failover, or memcpy).
         """
+        done = m.pending_done
+        if done is not None and not done.triggered:
+            t0 = self.engine.now
+            yield done
+            waited = self.engine.now - t0
+            if ctx.record:
+                ctx.breakdown["wait"] += waited
+            ctx.cpu_ns += waited
+            return
         for chid, sn in m.pending_sns:
             ch = self.platform.dma.channel(chid)
             if not ch.is_complete(sn):
@@ -88,8 +175,15 @@ class EasyIoFS(NovaFS):
             yield from self._wait_level2(ctx, m)
             yield from self._charge_lock_contention(ctx)
             prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
-            if not self.cm.should_offload_write(nbytes):
-                # Selective offloading: small I/O stays on the CPU.
+            offload = self.cm.should_offload_write(nbytes)
+            channel = self.cm.write_channel(ctx.app) if offload else None
+            if channel is None:
+                # Selective offloading keeps small I/O on the CPU; a
+                # missing channel means graceful degradation (no
+                # healthy channel left) -- same path, plus accounting.
+                if offload:
+                    self.fault_stats.degraded_writes += 1
+                    self.fault_stats.degraded_bytes += nbytes
                 self.memcpy_writes += 1
                 for run_bytes in prep.run_sizes:
                     yield from ctx.timed_cpu(
@@ -98,16 +192,28 @@ class EasyIoFS(NovaFS):
                 self._persist_pages(prep)
                 yield from self._commit_write(ctx, m, prep, sns=())
                 m.pending_sns = ()
+                m.pending_done = None
                 return OpResult(value=nbytes, ctx=ctx)
             self.dma_writes += 1
-            descs, channel = yield from self._submit_write_dma(ctx, m, prep)
-            sns = tuple((channel.channel_id, d.sn) for d in descs)
-            pending = self._pending_event(descs)
-            # Orderless: the metadata commit (with embedded SNs) runs
-            # while the DMA engine moves the data.  The replaced pages
-            # are recycled only once the data has landed.
-            yield from self._commit_write(ctx, m, prep, sns=sns,
-                                          free_on=pending)
+            jobs = yield from self._submit_write_dma(ctx, m, prep, channel)
+            sns = tuple((j.channel.channel_id, j.desc.sn) for j in jobs)
+            if self._supervised():
+                pending = self.engine.event()
+                _entry, log_idx = yield from self._commit_write(
+                    ctx, m, prep, sns=sns, free_on=pending)
+                self.engine.process(
+                    self._supervise_write(ctx.app, m, jobs, sns, log_idx,
+                                          pending),
+                    name=f"supervise-w-ino{m.ino}")
+                m.pending_done = pending
+            else:
+                pending = self._pending_event([j.desc for j in jobs])
+                # Orderless: the metadata commit (with embedded SNs)
+                # runs while the DMA engine moves the data.  The
+                # replaced pages are recycled only once it has landed.
+                yield from self._commit_write(ctx, m, prep, sns=sns,
+                                              free_on=pending)
+                m.pending_done = None
             m.pending_sns = sns
             return OpResult(value=nbytes, pending=pending, sns=sns, ctx=ctx)
         finally:
@@ -115,12 +221,18 @@ class EasyIoFS(NovaFS):
             # file -- no lock is ever held across a scheduling point.
             m.lock.release_write()
 
-    def _submit_write_dma(self, ctx: OpContext, m: MemInode, prep):
+    def _submit_write_dma(self, ctx: OpContext, m: MemInode, prep,
+                          channel: Optional[DmaChannel] = None):
         """Build one descriptor per contiguous page run (B-apps: split
-        to 64 KB), batch-submit, and hook page persistence."""
+        to 64 KB), batch-submit, and hook page persistence.
+
+        Returns the submitted :class:`_DmaJob` list (one per
+        descriptor, carrying the pages needed for retries).
+        """
         app = ctx.app
-        channel = self.cm.write_channel(app)
-        descs: List[DmaDescriptor] = []
+        if channel is None:
+            channel = self.cm.write_channel(app)
+        jobs: List[_DmaJob] = []
         for pids, contents in _contiguous_runs(prep.page_ids, prep.contents):
             run_bytes = len(pids) * PAGE_SIZE
             for chunk in self.cm.split(app, run_bytes):
@@ -129,19 +241,50 @@ class EasyIoFS(NovaFS):
                 chunk_contents, contents = contents[:take], contents[take:]
                 desc = DmaDescriptor(chunk, write=True, tag=("w", m.ino))
                 desc.on_complete = self._page_persister(chunk_pids, chunk_contents)
-                descs.append(desc)
+                jobs.append(_DmaJob(desc, channel, write=True,
+                                    pids=chunk_pids, contents=chunk_contents))
         # The submission cost is the CPU's remaining share of the data
         # movement, so it lands in the memcpy bucket.
+        descs = [j.desc for j in jobs]
         for i in range(0, len(descs), self.model.dma_batch_max):
             batch = descs[i:i + self.model.dma_batch_max]
             yield from ctx.timed_cpu("memcpy", channel.submit(batch))
-        return descs, channel
+        return jobs
 
     def _page_persister(self, pids, contents):
         def persist(_desc):
-            for pid, content in zip(pids, contents):
-                self.image.write_page(pid, content)
+            self._persist_contents(pids, contents)
         return persist
+
+    def _persist_contents(self, pids, contents) -> None:
+        """Persist pages, detecting media faults via the checksum hook.
+
+        A mismatching read-back is rewritten immediately; crash-sound
+        because the completion buffer (or log amendment) that validates
+        the data is only persisted after this returns -- a crash
+        between garbage and rewrite leaves the entry invalid.
+        """
+        image = self.image
+        guard = image.fault_plan is not None
+        for pid, content in zip(pids, contents):
+            image.write_page(pid, content)
+            if not guard or content is ELIDED:
+                continue
+            expected = image.checksum(content)
+            rewrites = 0
+            while not image.verify_page(pid, expected):
+                self.fault_stats.media_faults_detected += 1
+                rewrites += 1
+                if rewrites > self.MEDIA_REWRITE_MAX:
+                    raise RuntimeError(
+                        f"page {pid}: media faults persist after "
+                        f"{rewrites - 1} rewrites")
+                image.write_page(pid, content)
+
+    def _persist_pages(self, prep) -> None:
+        """Memcpy-path persistence (also the degraded path) -- with the
+        same media-fault detection as the DMA persister."""
+        self._persist_contents(prep.page_ids, prep.contents)
 
     def _pending_event(self, descs: List[DmaDescriptor]):
         if len(descs) == 1:
@@ -149,11 +292,108 @@ class EasyIoFS(NovaFS):
         return self.engine.all_of([d.done for d in descs])
 
     # ------------------------------------------------------------------
+    # Fault supervision: retry / failover / graceful degradation
+    # ------------------------------------------------------------------
+    def _supervise_write(self, app: Optional[AppProfile], m: MemInode,
+                         jobs: List[_DmaJob],
+                         orig_sns: Tuple[Tuple[int, int], ...],
+                         log_idx: int, outer):
+        """Drive one write's descriptors to resolution, then settle the
+        log entry.
+
+        Terminates because each round either resolves every job or
+        consumes a retry budget, and the degradation fallback (memcpy)
+        always succeeds.  Once all data has landed, the committed log
+        entry's SN field is amended iff any descriptor moved (failover
+        or degradation), so recovery judges the entry by SNs that are
+        actually achievable.  Only then does ``outer`` fire -- which
+        releases level-2 waiters and recycles the replaced CoW pages.
+        """
+        yield from self._resolve_jobs(app, m.ino, jobs)
+        final_sns = tuple(j.final for j in jobs if j.final)
+        if final_sns != orig_sns:
+            self.image.amend_log_sns(m.ino, log_idx, final_sns)
+            if m.pending_sns == orig_sns:
+                m.pending_sns = final_sns
+        outer.succeed(None)
+
+    def _supervise_read(self, app: Optional[AppProfile], ino: int,
+                        jobs: List[_DmaJob], outer):
+        """Drive one read's descriptors to resolution (reads carry no
+        SNs, so no log settlement is needed)."""
+        yield from self._resolve_jobs(app, ino, jobs)
+        outer.succeed(None)
+
+    def _resolve_jobs(self, app: Optional[AppProfile], ino: int,
+                      jobs: List[_DmaJob]):
+        stats = self.fault_stats
+        attempt = 0
+        while True:
+            waits = [j.desc.done for j in jobs
+                     if j.final is None and not j.desc.done.triggered]
+            if waits:
+                yield self.engine.all_of(waits)
+            bad: List[_DmaJob] = []
+            for j in jobs:
+                if j.final is not None:
+                    continue
+                if j.desc.status == "ok":
+                    j.final = (j.channel.channel_id, j.desc.sn)
+                    self.cm.note_success(j.channel)
+                else:
+                    bad.append(j)
+            if not bad:
+                return
+            attempt += 1
+            for j in bad:
+                if j.desc.status == "error" and j.desc.error == "xfer_error":
+                    # Soft error: feed the health tracker.  Halts and
+                    # strands are already accounted via on_halt.
+                    self.cm.note_error(j.channel)
+            if attempt > self.DMA_RETRY_MAX:
+                for j in bad:
+                    yield from self._degrade_job(j, ino)
+                continue
+            backoff = min(self.DMA_RETRY_BASE_NS * (2 ** (attempt - 1)),
+                          self.DMA_RETRY_CAP_NS)
+            yield self.engine.timeout(backoff)
+            for j in bad:
+                soft = (j.desc.status == "error"
+                        and j.desc.error == "xfer_error")
+                target = self.cm.retry_channel(app, j.channel, soft)
+                if target is None:
+                    yield from self._degrade_job(j, ino)
+                    continue
+                stats.retries += 1
+                if target is not j.channel:
+                    stats.failovers += 1
+                redo = DmaDescriptor(j.nbytes, write=j.write, tag=j.desc.tag)
+                if j.write:
+                    redo.on_complete = self._page_persister(j.pids, j.contents)
+                j.desc = redo
+                j.channel = target
+                yield from target.submit([redo])
+
+    def _degrade_job(self, j: _DmaJob, ino: int):
+        """Graceful degradation: move one job's bytes via memcpy."""
+        stats = self.fault_stats
+        if j.write:
+            stats.degraded_writes += 1
+        else:
+            stats.degraded_reads += 1
+        stats.degraded_bytes += j.nbytes
+        yield from self.memory.cpu_copy(j.nbytes, write=j.write,
+                                        tag=("degrade", ino))
+        if j.write:
+            self._persist_contents(j.pids, j.contents)
+        j.final = ()
+
+    # ------------------------------------------------------------------
     # Read path: DMA + memcpy with admission control (Listing 2)
     # ------------------------------------------------------------------
     def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
                       nbytes: int, runs, want_data: bool):
-        pending_descs: List[DmaDescriptor] = []
+        jobs: List[_DmaJob] = []
         try:
             for _off, pages in runs:
                 if not pages:
@@ -177,7 +417,8 @@ class EasyIoFS(NovaFS):
                         yield from ctx.timed_cpu(
                             "memcpy",
                             channel.submit(descs[i:i + self.model.dma_batch_max]))
-                    pending_descs.extend(descs)
+                    jobs.extend(_DmaJob(d, channel, write=False)
+                                for d in descs)
             # Reads only touch timestamps; commit and unlock immediately
             # -- later writes may start while our DMA is in flight (CoW
             # plus deferred page recycling keep the data stable).
@@ -186,7 +427,15 @@ class EasyIoFS(NovaFS):
                      if want_data else nbytes)
         finally:
             m.lock.release_read()
-        pending = self._pending_event(pending_descs) if pending_descs else None
+        pending = None
+        if jobs:
+            if self._supervised():
+                pending = self.engine.event()
+                self.engine.process(
+                    self._supervise_read(ctx.app, m.ino, jobs, pending),
+                    name=f"supervise-r-ino{m.ino}")
+            else:
+                pending = self._pending_event([j.desc for j in jobs])
         return OpResult(value=value, pending=pending, ctx=ctx)
 
 
@@ -220,8 +469,8 @@ class NaiveAsyncFS(EasyIoFS):
                 m.lock.release_write()
             return OpResult(value=nbytes, ctx=ctx)
         self.dma_writes += 1
-        descs, _channel = yield from self._submit_write_dma(ctx, m, prep)
-        pending = self._pending_event(descs)
+        jobs = yield from self._submit_write_dma(ctx, m, prep)
+        pending = self._pending_event([j.desc for j in jobs])
 
         def commit_syscall(ctx2: OpContext):
             # Second interaction with the filesystem (§3): metadata

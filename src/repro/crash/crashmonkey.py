@@ -177,11 +177,20 @@ class CrashReport:
         return self.passed == self.total_crash_points
 
 
-def _record_workload(kind: str, driver: Callable, iterations: int):
-    """Run the workload once, recording mutations and the op oracle."""
+def _record_workload(kind: str, driver: Callable, iterations: int,
+                     fault_plan: Optional[Callable] = None):
+    """Run the workload once, recording mutations and the op oracle.
+
+    ``fault_plan`` is a zero-argument factory returning a fresh
+    :class:`~repro.faults.FaultPlan`; when given, the plan is installed
+    on the recording platform so crash points land inside the
+    retry/failover/degradation windows too.
+    """
     platform = Platform(PlatformConfig.single_node())
     fs = make_fs(kind, platform, record=True)
     image = fs.image
+    if fault_plan is not None:
+        fault_plan().install(platform, image=image)
     # oracle[i] = (start_idx, end_idx, snapshot after op i)
     oracle: List[Tuple[int, int, Snapshot]] = []
 
@@ -220,12 +229,18 @@ def _record_workload(kind: str, driver: Callable, iterations: int):
     return image, oracle
 
 
-def run_crash_test(kind: str, workload: str,
-                   crash_points: int = 1000) -> CrashReport:
+def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
+                   fault_plan: Optional[Callable] = None) -> CrashReport:
     """Inject ``crash_points`` crashes into one workload and check
-    every recovery (the Table 2 experiment)."""
+    every recovery (the Table 2 experiment).
+
+    With a ``fault_plan`` factory the recording run also suffers DMA
+    faults, so the sweep covers crash points inside EasyIO's retry and
+    failover windows (half-retried writes, amended-but-unlanded SNs);
+    recovery must still land in a legal state at every point.
+    """
     desc, driver, iterations = CRASH_WORKLOADS[workload]
-    image, oracle = _record_workload(kind, driver, iterations)
+    image, oracle = _record_workload(kind, driver, iterations, fault_plan)
     total = image.crash_points()
     if total < 2:
         raise RuntimeError(f"workload {workload} produced no mutations")

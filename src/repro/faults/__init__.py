@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the DMA/PM layer.
+
+A :class:`FaultPlan` is a seeded, replayable description of every
+hardware misbehaviour one simulation run will experience: per-descriptor
+transfer errors, CHANERR-style channel halts, transient bandwidth
+degradation of the slow-memory device, and PM media faults (a page
+write that persists garbage).  The same seed always produces the same
+injections at the same simulated instants, so fault experiments are
+regression-testable artifacts rather than one-off runs.
+"""
+
+from repro.faults.plan import (
+    BandwidthFault,
+    ChannelHaltFault,
+    FaultPlan,
+    MediaFault,
+    TransferErrorFault,
+    CHAN_HALT,
+    XFER_ERROR,
+)
+
+__all__ = [
+    "BandwidthFault",
+    "CHAN_HALT",
+    "ChannelHaltFault",
+    "FaultPlan",
+    "MediaFault",
+    "TransferErrorFault",
+    "XFER_ERROR",
+]

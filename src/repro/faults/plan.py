@@ -1,0 +1,221 @@
+"""Seeded fault plans: schedule- or probability-driven, fully replayable.
+
+Determinism contract (DESIGN.md §6 extended): given the same seed and
+the same workload, a :class:`FaultPlan` injects the same faults at the
+same simulated instants, producing an identical event trace and
+identical fault/retry counters.  All randomness comes from private
+``random.Random`` streams seeded from the plan seed (one stream per
+channel plus one for media faults), and every draw happens at a
+deterministic point of the simulation (descriptor service, page
+persist), so the injection sequence is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Fault kinds as they appear in traces and descriptor error fields.
+XFER_ERROR = "xfer_error"   # one descriptor fails; the channel continues
+CHAN_HALT = "chan_halt"     # CHANERR: the channel halts, ring stranded
+BW_DEGRADE = "bw_degrade"   # transient device bandwidth loss
+MEDIA = "media"             # a page write persists garbage
+
+
+@dataclass(frozen=True)
+class TransferErrorFault:
+    """Fail the descriptor with sequence number ``at_sn`` on a channel."""
+
+    channel_id: int
+    at_sn: int
+
+
+@dataclass(frozen=True)
+class ChannelHaltFault:
+    """Halt the channel while serving descriptor ``at_sn`` (CHANERR)."""
+
+    channel_id: int
+    at_sn: int
+
+
+@dataclass(frozen=True)
+class BandwidthFault:
+    """Scale device bandwidth by ``factor`` during a time window."""
+
+    start_ns: int
+    duration_ns: int
+    factor: float
+    read: bool = True
+    write: bool = True
+
+
+@dataclass(frozen=True)
+class MediaFault:
+    """Corrupt the ``at_write``-th content-carrying page persist
+    (1-based, counted across the whole image)."""
+
+    at_write: int
+
+
+class FaultPlan:
+    """One run's worth of injected hardware faults.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every probabilistic decision.
+    p_xfer_error / p_chan_halt:
+        Per-descriptor probabilities of a transfer error / channel halt.
+    p_media:
+        Per-page-persist probability of a media fault.
+    schedule:
+        Explicit :class:`TransferErrorFault` / :class:`ChannelHaltFault`
+        / :class:`BandwidthFault` / :class:`MediaFault` instances; these
+        always fire (they are not counted against ``max_faults``).
+    max_faults:
+        Cap on *probabilistic* injections.  Keeps runs finite: once the
+        budget is spent the hardware behaves perfectly, so retry loops
+        and quarantine probes always converge.
+    """
+
+    def __init__(self, seed: int = 0,
+                 p_xfer_error: float = 0.0,
+                 p_chan_halt: float = 0.0,
+                 p_media: float = 0.0,
+                 schedule: Sequence[Any] = (),
+                 max_faults: int = 32):
+        for name, p in (("p_xfer_error", p_xfer_error),
+                        ("p_chan_halt", p_chan_halt),
+                        ("p_media", p_media)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if max_faults < 0:
+            raise ValueError(f"max_faults must be >= 0, got {max_faults}")
+        self.seed = seed
+        self.p_xfer_error = p_xfer_error
+        self.p_chan_halt = p_chan_halt
+        self.p_media = p_media
+        self.max_faults = max_faults
+        self._budget = max_faults
+        self._sched_desc: Dict[Tuple[int, int], str] = {}
+        self._sched_bw: List[BandwidthFault] = []
+        self._sched_media: set = set()
+        for f in schedule:
+            if isinstance(f, TransferErrorFault):
+                self._sched_desc[(f.channel_id, f.at_sn)] = XFER_ERROR
+            elif isinstance(f, ChannelHaltFault):
+                self._sched_desc[(f.channel_id, f.at_sn)] = CHAN_HALT
+            elif isinstance(f, BandwidthFault):
+                self._sched_bw.append(f)
+            elif isinstance(f, MediaFault):
+                self._sched_media.add(f.at_write)
+            else:
+                raise TypeError(f"unknown fault spec: {f!r}")
+        self._desc_rng: Dict[int, random.Random] = {}
+        self._media_rng = random.Random(f"{seed}:media")
+        self._page_writes = 0
+        self._engine = None
+        #: (time, kind, *detail) in injection order -- the determinism
+        #: property compares this across runs.
+        self.trace: List[Tuple] = []
+        #: Injection counts by kind.
+        self.injected: Dict[str, int] = {XFER_ERROR: 0, CHAN_HALT: 0,
+                                         BW_DEGRADE: 0, MEDIA: 0}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, platform, image=None) -> "FaultPlan":
+        """Attach the plan to a platform (and optionally its PM image).
+
+        Wires every DMA channel's fault hook, schedules the bandwidth
+        windows, and -- when ``image`` is given -- arms media-fault
+        injection on page persists.
+        """
+        self._engine = platform.engine
+        for ch in platform.dma.channels:
+            ch.fault_plan = self
+        for f in self._sched_bw:
+            platform.engine.process(self._bw_window(platform.memory, f),
+                                    name="fault-bw")
+        if image is not None:
+            image.fault_plan = self
+        return self
+
+    def _now(self) -> int:
+        return self._engine.now if self._engine is not None else -1
+
+    def _note(self, kind: str, *detail) -> None:
+        self.injected[kind] += 1
+        self.trace.append((self._now(), kind) + detail)
+
+    def _spend(self) -> bool:
+        if self._budget <= 0:
+            return False
+        self._budget -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # DMA descriptor faults (consulted by DmaChannel's service loop)
+    # ------------------------------------------------------------------
+    def descriptor_fault(self, channel, desc) -> Optional[str]:
+        """Decide the fate of one descriptor about to be served.
+
+        Returns ``None`` (serve normally), :data:`XFER_ERROR`, or
+        :data:`CHAN_HALT`.  Scheduled faults fire exactly once and take
+        precedence over the probabilistic draw.
+        """
+        key = (channel.channel_id, desc.sn)
+        kind = self._sched_desc.pop(key, None)
+        if kind is None and (self.p_xfer_error or self.p_chan_halt):
+            rng = self._desc_rng.get(channel.channel_id)
+            if rng is None:
+                rng = self._desc_rng[channel.channel_id] = random.Random(
+                    f"{self.seed}:ch{channel.channel_id}")
+            u = rng.random()
+            if u < self.p_chan_halt:
+                kind = CHAN_HALT
+            elif u < self.p_chan_halt + self.p_xfer_error:
+                kind = XFER_ERROR
+            if kind is not None and not self._spend():
+                kind = None
+        if kind is not None:
+            self._note(kind, channel.channel_id, desc.sn)
+        return kind
+
+    # ------------------------------------------------------------------
+    # PM media faults (consulted by PMImage.write_page)
+    # ------------------------------------------------------------------
+    def corrupt_page_write(self, page_id: int, data: bytes):
+        """Maybe replace a page persist's payload with garbage.
+
+        Only content-carrying writes count (ELIDED payloads have nothing
+        to corrupt or checksum).  Returns the data to persist.
+        """
+        self._page_writes += 1
+        hit = self._page_writes in self._sched_media
+        if hit:
+            self._sched_media.discard(self._page_writes)
+        elif self.p_media and self._media_rng.random() < self.p_media:
+            hit = self._spend()
+        if not hit:
+            return data
+        self._note(MEDIA, page_id, self._page_writes)
+        return self._garbage(page_id, len(data))
+
+    def _garbage(self, page_id: int, nbytes: int) -> bytes:
+        rng = random.Random(f"{self.seed}:garbage:{page_id}:{self._page_writes}")
+        return rng.randbytes(nbytes)
+
+    # ------------------------------------------------------------------
+    # Transient bandwidth degradation
+    # ------------------------------------------------------------------
+    def _bw_window(self, memory, f: BandwidthFault):
+        if f.start_ns > 0:
+            yield self._engine.timeout(f.start_ns)
+        memory.set_degradation(f.factor if f.read else 1.0,
+                               f.factor if f.write else 1.0)
+        self._note(BW_DEGRADE, f.factor, f.duration_ns)
+        yield self._engine.timeout(f.duration_ns)
+        memory.set_degradation(1.0, 1.0)

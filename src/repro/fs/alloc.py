@@ -16,7 +16,7 @@ ids from the image.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Set, Tuple
+from typing import Deque, List, Set, Tuple
 
 from repro.fs.pmimage import PMImage
 

@@ -18,7 +18,7 @@ claim that EasyIO needs <50 changed lines in NOVA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.fs.alloc import PageAllocator
@@ -538,7 +538,7 @@ class NovaFS:
         entry = WriteEntry(pgoff=prep.pgoff, page_ids=tuple(prep.page_ids),
                            size_after=prep.size_after, mtime=self.engine.now,
                            sns=sns)
-        yield from self._append_commit(ctx, m, entry)
+        idx = yield from self._append_commit(ctx, m, entry)
         yield from ctx.charge("indexing",
                               self.model.index_insert_cost * len(prep.page_ids))
         for i, pid in enumerate(prep.page_ids):
@@ -550,7 +550,7 @@ class NovaFS:
         else:
             old = prep.old_pages
             free_on.add_callback(lambda _e: self.allocator.free(old))
-        return entry
+        return entry, idx
 
     # ------------------------------------------------------------------
     # Data path: read

@@ -18,8 +18,9 @@ Recording is off by default; performance experiments pay nothing for it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -54,10 +55,17 @@ class PMImage:
         self.log_tails: Dict[int, int] = {}             # ino -> committed entries
         self.journal: List[Any] = []                    # lightweight txn journal
         self.completion_buffers: Dict[int, int] = {}    # channel -> completion SN
+        # Persistent channel-error-SN log: SNs that failed or were
+        # stranded, per channel.  A completion buffer is a high-water
+        # mark, so under faults it can *cover* an SN whose descriptor
+        # never moved data; recovery must treat such SNs as invalid.
+        self.channel_error_sns: Dict[int, Set[int]] = {}
         self.next_ino: int = 1
         self.next_page: int = 0
         self.recording = record
         self.mutations: List[MutationRecord] = []
+        #: Installed FaultPlan (media-fault injection); None = perfect PM.
+        self.fault_plan = None
 
     # ------------------------------------------------------------------
     # Mutation methods -- every durable store goes through one of these.
@@ -67,7 +75,15 @@ class PMImage:
             self.mutations.append(MutationRecord(op, args))
 
     def write_page(self, page_id: int, data: Any) -> None:
-        """Persist one data page (bytes, or ELIDED for elided payloads)."""
+        """Persist one data page (bytes, or ELIDED for elided payloads).
+
+        With a fault plan installed, a content-carrying write may
+        persist garbage instead (a media fault); what actually landed
+        -- garbage included -- is what gets journalled, so crash replay
+        sees the corrupted state exactly as recovery would.
+        """
+        if self.fault_plan is not None and data is not ELIDED:
+            data = self.fault_plan.corrupt_page_write(page_id, data)
         self.pages[page_id] = data
         self._record("write_page", page_id, data)
 
@@ -130,6 +146,33 @@ class PMImage:
         self.completion_buffers[channel_id] = sn
         self._record("update_completion_buffer", channel_id, sn)
 
+    def record_channel_errors(self, channel_id: int,
+                              sns: Tuple[int, ...]) -> None:
+        """Persist poisoned SNs: descriptors that failed or were
+        stranded on ``channel_id``.
+
+        EasyIO's error handler calls this *before* the channel can
+        complete any later descriptor, so at every crash point a
+        covered-but-failed SN is already poisoned -- the invariant the
+        recovery validator relies on.
+        """
+        self.channel_error_sns.setdefault(channel_id, set()).update(sns)
+        self._record("record_channel_errors", channel_id, tuple(sorted(sns)))
+
+    def amend_log_sns(self, ino: int, index: int,
+                      sns: Tuple[Tuple[int, int], ...]) -> None:
+        """Rewrite a committed WriteEntry's SN field in place (failover).
+
+        After re-submitting a write's failed descriptors on a healthy
+        channel, EasyIO records the new (channel, sn) pairs so the
+        recovery validator judges the entry by descriptors that can
+        actually complete.  Modeled as a small in-place atomic update
+        (the SN field is one cacheline, persisted with a single flush).
+        """
+        entry = self.logs[ino][index]
+        self.logs[ino][index] = replace(entry, sns=tuple(sns))
+        self._record("amend_log_sns", ino, index, tuple(sns))
+
     # ------------------------------------------------------------------
     # Allocation counters (volatile in NOVA, rebuilt on recovery; we
     # journal them so replayed images can keep allocating).
@@ -184,12 +227,35 @@ class PMImage:
                 self.journal.pop()
         elif op == "update_completion_buffer":
             self.completion_buffers[args[0]] = args[1]
+        elif op == "record_channel_errors":
+            self.channel_error_sns.setdefault(args[0], set()).update(args[1])
+        elif op == "amend_log_sns":
+            entry = self.logs[args[0]][args[1]]
+            self.logs[args[0]][args[1]] = replace(entry, sns=tuple(args[2]))
         elif op == "alloc_ino":
             self.next_ino = max(self.next_ino, args[0] + 1)
         elif op == "alloc_page_ids":
             self.next_page = max(self.next_page, args[0])
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown mutation op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Media-fault detection (checksum hook)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def checksum(data: bytes) -> int:
+        """Page content checksum (CRC32) for media-fault detection."""
+        return zlib.crc32(data) & 0xFFFFFFFF
+
+    def verify_page(self, page_id: int, expected: int) -> bool:
+        """Read back a persisted page and compare its checksum.
+
+        ELIDED/absent pages verify trivially (nothing to check).
+        """
+        data = self.pages.get(page_id)
+        if data is None or data is ELIDED:
+            return True
+        return self.checksum(data) == expected
 
     # ------------------------------------------------------------------
     # Introspection helpers

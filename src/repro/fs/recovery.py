@@ -25,7 +25,6 @@ from repro.fs.structures import (
     PAGE_SIZE,
     DentryEntry,
     FileKind,
-    MemInode,
     PageMapping,
     SetAttrEntry,
     WriteEntry,
@@ -36,11 +35,24 @@ SnValidator = Callable[[Tuple[Tuple[int, int], ...]], bool]
 
 def completion_buffer_validator(image: PMImage) -> SnValidator:
     """The EasyIO validity rule: every (channel, sn) must be covered by
-    the channel's persistent completion buffer."""
+    the channel's persistent completion buffer -- and must not be in
+    the channel's persistent error-SN log.
+
+    The second clause is the fault-tolerance extension: the completion
+    buffer is a high-water mark, so after an error the hardware's next
+    successful completion *jumps past* the failed SN.  The error
+    handler persists failed/stranded SNs before that can happen, so a
+    covered-but-poisoned SN means "the descriptor never moved its
+    data" and the entry must be discarded.
+    """
 
     def valid(sns: Tuple[Tuple[int, int], ...]) -> bool:
-        return all(image.completion_buffers.get(ch, 0) >= sn
-                   for ch, sn in sns)
+        for ch, sn in sns:
+            if image.completion_buffers.get(ch, 0) < sn:
+                return False
+            if sn in image.channel_error_sns.get(ch, ()):
+                return False
+        return True
 
     return valid
 

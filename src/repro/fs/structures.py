@@ -128,6 +128,12 @@ class MemInode:
     index: Dict[int, PageMapping] = field(default_factory=dict)
     dentries: Dict[str, int] = field(default_factory=dict)
     pending_sns: Tuple[Tuple[int, int], ...] = ()
+    # Fault-tolerant EasyIO: the event that fires once the most recent
+    # write's data has fully landed (retries/failover/degradation
+    # included).  The level-2 check waits on this instead of the raw
+    # completion buffer, because a halted channel's completion may
+    # never arrive.  None when no supervision is active.
+    pending_done: Optional[object] = None
     # Assigned lazily by the filesystem (a sim Lock needs the engine).
     lock: Optional[object] = None
 

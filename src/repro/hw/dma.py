@@ -18,6 +18,23 @@ number (SN) EasyIO's orderless file operation relies on.
 Channels support CHANCMD-style suspend/resume (the in-flight descriptor
 executes to completion; fetching stops), which the channel manager uses
 for µs-scale bandwidth throttling.
+
+Fault semantics (CHANERR-style, driven by an installed
+:class:`~repro.faults.FaultPlan`):
+
+* a **transfer error** fails one descriptor -- no data lands, its
+  ``status`` becomes ``"error"``, the completion buffer does *not*
+  advance for it -- and the channel keeps serving;
+* a **channel halt** additionally stops the channel: ``halted`` is set,
+  ``error_sn``/``chanerr`` identify the failure, and everything still
+  in the ring is stranded until software issues :meth:`reset`, which
+  hands the stranded descriptors back (``status == "stranded"``).
+
+Because later completions make the completion SN *jump past* failed
+descriptors, every failed/stranded SN is reported through ``on_error``
+/ ``on_reset`` *before* any later completion can cover it -- EasyIO
+persists these as poisoned SNs so its recovery validity rule stays
+sound under failover.
 """
 
 from __future__ import annotations
@@ -46,10 +63,17 @@ class DmaDescriptor:
         Channel-local sequence number, assigned at submit time.  The
         descriptor is complete once the channel's completion SN is
         >= this value.
+    status:
+        ``"pending"`` until the engine decides its fate, then ``"ok"``,
+        ``"error"`` (transfer error / CHANERR), or ``"stranded"`` (was
+        in the ring when the channel halted and got torn down by
+        ``reset()``).  ``done`` fires in *every* case -- software
+        inspects ``status`` to tell success from failure.
     """
 
     __slots__ = ("nbytes", "write", "tag", "done", "sn", "pipelined",
-                 "submitted_at", "completed_at", "on_complete")
+                 "submitted_at", "completed_at", "on_complete",
+                 "status", "error")
 
     def __init__(self, nbytes: int, write: bool, tag: object = None,
                  on_complete: Optional[Callable[["DmaDescriptor"], None]] = None):
@@ -67,6 +91,14 @@ class DmaDescriptor:
         #: the completion buffer is bumped -- the DMA writes its data,
         #: then claims completion.  EasyIO hooks page persistence here.
         self.on_complete = on_complete
+        self.status = "pending"
+        #: Fault kind when status is "error" (see repro.faults).
+        self.error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Did this descriptor fail (error or stranded)?"""
+        return self.status in ("error", "stranded")
 
 
 class DmaChannel:
@@ -82,7 +114,8 @@ class DmaChannel:
         self._suspended = False
         self._resume_gate = Gate(engine, opened=True)
         self._submitted_total = 0
-        self._completed_total = 0
+        self._completion_sn = 0
+        self._queued = 0
         self._pipeline_next = False
         # (sn, event) waiters resolved when completion SN reaches sn.
         self._sn_waiters: List = []
@@ -90,6 +123,30 @@ class DmaChannel:
         # Observability / throttling inputs.
         self.bytes_moved = 0
         self.descriptors_completed = 0
+        # -- fault state (CHANERR semantics) ---------------------------
+        self._halted = False
+        self._halt_gate = Gate(engine, opened=True)
+        #: SN of the descriptor whose failure halted the channel.
+        self.error_sn: Optional[int] = None
+        #: CHANERR code (a repro.faults kind) while halted.
+        self.chanerr: Optional[str] = None
+        #: Every SN that failed or was stranded on this channel
+        #: (volatile mirror; EasyIO persists them via on_error/on_reset).
+        self.error_sns: set = set()
+        self.errors = 0
+        self.halts = 0
+        self.resets = 0
+        #: Installed FaultPlan (or None for perfect hardware).
+        self.fault_plan = None
+        #: Called as fn(channel, (sn, ...)) the instant SNs fail --
+        #: strictly before any later completion can cover them.
+        self.on_error: Optional[Callable] = None
+        #: Called as fn(channel) when the channel halts (the CHANERR
+        #: interrupt); the channel manager hooks its recovery path here.
+        self.on_halt: Optional[Callable] = None
+        #: Called as fn(channel, (sn, ...)) from reset() with the
+        #: stranded SNs, before service resumes.
+        self.on_reset: Optional[Callable] = None
         #: Called as fn(channel) after every completion-buffer update;
         #: the persistent-memory image hooks this to journal the update.
         self.on_completion: Optional[Callable[["DmaChannel"], None]] = None
@@ -101,28 +158,39 @@ class DmaChannel:
     # -- software-visible state ----------------------------------------
     @property
     def queue_depth(self) -> int:
-        """Descriptors submitted but not yet completed."""
-        return self._submitted_total - self._completed_total
+        """Descriptors submitted but not yet completed, failed, or
+        stranded."""
+        return self._queued
 
     @property
     def completion_sn(self) -> int:
-        """Monotonic completion sequence number (CNT·ADDR combined)."""
-        return self._completed_total
+        """Monotonic completion sequence number (CNT·ADDR combined).
+
+        Under faults this *jumps past* failed descriptors (their SNs
+        are reported through ``on_error``/``on_reset`` first); with
+        perfect hardware it advances by exactly one per completion.
+        """
+        return self._completion_sn
 
     @property
     def completion_addr(self) -> int:
         """The raw 64-bit completion buffer: ring slot of the newest
         finished descriptor (wraps around)."""
-        return self._completed_total % self.model.dma_ring_size
+        return self._completion_sn % self.model.dma_ring_size
 
     @property
     def completion_cnt(self) -> int:
         """Wraparound counter maintained alongside the completion buffer."""
-        return self._completed_total // self.model.dma_ring_size
+        return self._completion_sn // self.model.dma_ring_size
 
     @property
     def suspended(self) -> bool:
         return self._suspended
+
+    @property
+    def halted(self) -> bool:
+        """Has a CHANERR halted this channel (pending reset())?"""
+        return self._halted
 
     # -- submission -------------------------------------------------------
     def submit(self, descriptors: Sequence[DmaDescriptor]):
@@ -145,6 +213,7 @@ class DmaChannel:
             desc.submitted_at = self.engine.now
             self._submitted_total += 1
             desc.sn = self._submitted_total
+            self._queued += 1
             yield self._ring.put(desc)
         return list(descriptors)
 
@@ -161,6 +230,7 @@ class DmaChannel:
         desc.submitted_at = self.engine.now
         self._submitted_total += 1
         desc.sn = self._submitted_total
+        self._queued += 1
         ev = self._ring.put(desc)
         assert ev.triggered, "ring accepted the descriptor synchronously"
         return True
@@ -174,16 +244,21 @@ class DmaChannel:
         event fires at the exact instant the buffer value covers ``sn``.
         """
         ev = self.engine.event()
-        if self._completed_total >= sn:
-            ev.succeed(self._completed_total)
+        if self._completion_sn >= sn:
+            ev.succeed(self._completion_sn)
         else:
             self._waiter_seq += 1
             heapq.heappush(self._sn_waiters, (sn, self._waiter_seq, ev))
         return ev
 
     def is_complete(self, sn: int) -> bool:
-        """Poll: has descriptor ``sn`` finished?"""
-        return self._completed_total >= sn
+        """Poll: has the completion buffer covered ``sn``?
+
+        Under faults a covered SN is only a *successful* completion if
+        it is not in ``error_sns`` (recovery applies the same rule via
+        the persisted poisoned-SN set).
+        """
+        return self._completion_sn >= sn
 
     # -- CHANCMD ------------------------------------------------------------
     def suspend(self) -> None:
@@ -196,6 +271,35 @@ class DmaChannel:
         self._suspended = False
         self._resume_gate.open()
 
+    # -- CHANERR reset ------------------------------------------------------
+    def reset(self) -> List[DmaDescriptor]:
+        """Software CHANERR handling: tear down and restart the channel.
+
+        Drains the ring (unblocking any submitter stuck on a full
+        ring), marks every drained descriptor ``"stranded"`` and fires
+        its ``done`` event, reports the stranded SNs through
+        ``on_reset`` *before* service can resume (so software persists
+        them as poisoned before any later completion covers them),
+        clears the halt, and returns the stranded descriptors.
+        """
+        if not self._halted:
+            return []
+        stranded = self._ring.drain()
+        self._queued -= len(stranded)
+        burned = tuple(d.sn for d in stranded)
+        self.error_sns.update(burned)
+        for d in stranded:
+            d.status = "stranded"
+            d.done.succeed(d)
+        if self.on_reset is not None and burned:
+            self.on_reset(self, burned)
+        self._halted = False
+        self.error_sn = None
+        self.chanerr = None
+        self.resets += 1
+        self._halt_gate.open()
+        return stranded
+
     # -- engine ----------------------------------------------------------------
     def _service_loop(self):
         model = self.model
@@ -203,11 +307,21 @@ class DmaChannel:
             desc = yield self._ring.get()
             if self._suspended:
                 yield self._resume_gate.wait()
+            if self._halted:
+                yield self._halt_gate.wait()
             pipelined = desc.pipelined or self._pipeline_next
             self._pipeline_next = len(self._ring) > 0
             overhead = (model.dma_desc_overhead_batched if pipelined
                         else model.dma_desc_overhead)
             yield self.engine.timeout(overhead)
+            fault = (self.fault_plan.descriptor_fault(self, desc)
+                     if self.fault_plan is not None else None)
+            if fault is not None:
+                yield self.engine.timeout(model.dma_error_latency)
+                self._fail_descriptor(desc, fault)
+                if self._halted:
+                    yield self._halt_gate.wait()
+                continue
             rate = (model.dma_channel_write_rate if desc.write
                     else model.dma_channel_read_rate)
             # The engine's processing capacity is shared by every
@@ -227,18 +341,49 @@ class DmaChannel:
             yield self.engine.timeout(model.dma_completion_write_cost)
             if desc.on_complete is not None:
                 desc.on_complete(desc)
-            self._completed_total += 1
+            # Jump to this descriptor's SN: identical to +1 in FIFO
+            # operation, and skips past failed SNs (already poisoned
+            # via on_error/on_reset) after a fault.
+            self._completion_sn = desc.sn
+            self._queued -= 1
             self.bytes_moved += desc.nbytes
             self.descriptors_completed += 1
+            desc.status = "ok"
             desc.completed_at = self.engine.now
             if self.on_completion is not None:
                 self.on_completion(self)
             done = desc.done
             assert done is not None
             done.succeed(desc)
-            while self._sn_waiters and self._sn_waiters[0][0] <= self._completed_total:
+            while self._sn_waiters and self._sn_waiters[0][0] <= self._completion_sn:
                 _sn, _seq, ev = heapq.heappop(self._sn_waiters)
-                ev.succeed(self._completed_total)
+                ev.succeed(self._completion_sn)
+
+    def _fail_descriptor(self, desc: DmaDescriptor, fault: str) -> None:
+        """Engine-side error handling for one faulted descriptor.
+
+        No data lands and the completion buffer does not advance; the
+        SN is reported as poisoned *before* the done event fires, so
+        software (and, via on_error, the persistent image) knows about
+        the failure before any later completion can cover the SN.
+        """
+        desc.status = "error"
+        desc.error = fault
+        self._queued -= 1
+        self.errors += 1
+        self.error_sns.add(desc.sn)
+        halting = fault == "chan_halt"
+        if halting:
+            self._halted = True
+            self._halt_gate.close()
+            self.error_sn = desc.sn
+            self.chanerr = fault
+            self.halts += 1
+        if self.on_error is not None:
+            self.on_error(self, (desc.sn,))
+        desc.done.succeed(desc)
+        if halting and self.on_halt is not None:
+            self.on_halt(self)
 
 
 class DmaEngine:

@@ -133,6 +133,19 @@ class BandwidthPool:
             counts[flow.group] = counts.get(flow.group, 0) + 1
         return counts
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change the device capacity mid-run (fault injection).
+
+        Charges every in-flight transfer for progress at the old rates,
+        then reallocates under the new capacity -- exact, like every
+        other flow-set change.
+        """
+        if capacity <= 0:
+            raise ValueError(f"pool capacity must be positive, got {capacity}")
+        self._advance()
+        self.capacity = capacity
+        self._rebalance()
+
     def transfer(self, nbytes: int, cap: float, group: str = CPU_GROUP,
                  tag: object = None) -> Event:
         """Start a transfer; the returned event fires when it finishes.
@@ -242,6 +255,21 @@ class SlowMemory:
         self.write_pool = BandwidthPool(
             engine, f"{name}.write", model.pm_write_peak(dimms),
             group_cap_fn=self._write_group_caps)
+        # Healthy-device capacities; set_degradation() scales from these.
+        self._base_read_capacity = self.read_pool.capacity
+        self._base_write_capacity = self.write_pool.capacity
+        self.degradation = (1.0, 1.0)
+
+    def set_degradation(self, read_factor: float, write_factor: float) -> None:
+        """Scale device bandwidth (fault injection: thermal throttling,
+        media retries).  Factors are fractions of the healthy capacity;
+        (1.0, 1.0) restores full speed."""
+        for f in (read_factor, write_factor):
+            if not 0.0 < f <= 1.0:
+                raise ValueError(f"degradation factor must be in (0, 1], got {f}")
+        self.degradation = (read_factor, write_factor)
+        self.read_pool.set_capacity(self._base_read_capacity * read_factor)
+        self.write_pool.set_capacity(self._base_write_capacity * write_factor)
 
     # -- capacity policies (the calibrated asymmetries live here) ------
     def _active_write_channels(self) -> int:

@@ -32,7 +32,7 @@ Calibration sources (paper section / figure):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 
@@ -92,6 +92,9 @@ class CostModel:
     dma_completion_write_cost: int = 80   # ns to post the completion value
     # CHANCMD suspend/resume cost (§4.4: "74 ns").
     dma_chancmd_cost: int = 74
+    # Engine-side latency to detect a failed descriptor and raise the
+    # error status / CHANERR interrupt (fault-injection experiments).
+    dma_error_latency: int = 400
 
     # ---- OS / filesystem software costs ------------------------------
     syscall_cost: int = 600               # ns, entry+exit incl. VFS

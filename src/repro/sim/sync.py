@@ -231,6 +231,23 @@ class Channel:
             self._getters.append(ev)
         return ev
 
+    def drain(self) -> list:
+        """Remove and return every queued item, in queue order.
+
+        Blocked putters are unblocked (their put events fire) and their
+        items are included in the returned list -- from the producer's
+        point of view the item *was* accepted, it just never reached a
+        consumer.  Models a hardware ring being torn down by a channel
+        reset: the stranded descriptors are handed back to software.
+        """
+        items = list(self._items)
+        self._items.clear()
+        while self._putters:
+            put_ev, item = self._putters.popleft()
+            items.append(item)
+            put_ev.succeed()
+        return items
+
 
 class RWLock:
     """Reader-writer lock with FIFO fairness.

@@ -18,12 +18,11 @@ core; EasyIO runs workers as uthreads (two per core) on the runtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.analysis.metrics import LatencySeries, ThroughputMeter, Timeline
 from repro.core.channel_manager import AppProfile
-from repro.fs.nova import FsError
 from repro.runtime import Compute, Runtime, Sleep, Syscall
 from repro.workloads.factory import make_fs, make_platform, uses_uthread_runtime
 from repro.workloads.fxmark import US, _prepare_file, run_to_completion, settle

@@ -20,7 +20,7 @@ Two driver modes, matching the paper's methodology (§6.2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.analysis.metrics import LatencySeries, ThroughputMeter
 from repro.fs.structures import PAGE_SIZE

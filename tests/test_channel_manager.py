@@ -49,14 +49,14 @@ class TestChannelPolicy:
         assert cm.write_channel(b) is cm.b_channel
 
     def test_l_app_writes_pick_least_loaded(self, cm, node):
-        l = AppProfile("web", kind="L")
-        first = cm.write_channel(l)
+        lapp = AppProfile("web", kind="L")
+        first = cm.write_channel(lapp)
         def body():
             d = DmaDescriptor(1 << 20, write=True)
             yield from first.submit([d])
             # While the descriptor is queued, another L write must pick
             # a different (shallower) channel.
-            return cm.write_channel(l)
+            return cm.write_channel(lapp)
         second = run_proc(node.engine, body())
         assert second is not first
 
@@ -83,9 +83,9 @@ class TestChannelPolicy:
         assert cm.should_offload_write(4097)
 
     def test_split_only_for_b_apps(self, cm):
-        l = AppProfile("web", kind="L")
+        lapp = AppProfile("web", kind="L")
         b = AppProfile("gc", kind="B")
-        assert cm.split(l, 1 << 20) == [1 << 20]
+        assert cm.split(lapp, 1 << 20) == [1 << 20]
         chunks = cm.split(b, (1 << 20) + 1000)
         assert all(c <= cm.split_bytes for c in chunks)
         assert sum(chunks) == (1 << 20) + 1000
@@ -93,6 +93,32 @@ class TestChannelPolicy:
     def test_overlapping_l_and_b_channels_rejected(self, node):
         with pytest.raises(ValueError):
             ChannelManager(node, l_channel_ids=[0, 1], b_channel_id=1)
+
+
+class TestConstructorValidation:
+    def test_zero_split_bytes_rejected(self, node):
+        with pytest.raises(ValueError, match="split_bytes"):
+            ChannelManager(node, split_bytes=0)
+
+    def test_negative_split_bytes_rejected(self, node):
+        with pytest.raises(ValueError, match="split_bytes"):
+            ChannelManager(node, split_bytes=-4096)
+
+    def test_negative_offload_threshold_rejected(self, node):
+        with pytest.raises(ValueError, match="offload_threshold"):
+            ChannelManager(node, offload_threshold=-1)
+
+    def test_zero_offload_threshold_allowed(self, node):
+        cm = ChannelManager(node, offload_threshold=0)
+        assert cm.should_offload_write(1)
+
+    def test_bad_epoch_rejected(self, node):
+        with pytest.raises(ValueError, match="epoch_ns"):
+            ChannelManager(node, epoch_ns=0)
+
+    def test_bad_quarantine_threshold_rejected(self, node):
+        with pytest.raises(ValueError, match="quarantine_threshold"):
+            ChannelManager(node, quarantine_threshold=0)
 
 
 class TestRegulation:
@@ -179,3 +205,36 @@ class TestRegulation:
         cm.stop()
         node.engine.run()
         assert not cm.b_channel.suspended
+
+    def test_stop_during_chancmd_window_does_not_strand_channel(self, node):
+        """Regression: stop() racing an in-flight CHANCMD suspend.
+
+        The regulation loop decides to suspend, spends 74 ns on the
+        CHANCMD, and only then acts.  If stop() lands inside that
+        window, the loop must NOT go through with the suspension --
+        nobody would ever resume the B channel again.
+        """
+        cm = ChannelManager(node, b_limit=0.05, epoch_ns=20_000, subticks=1)
+        cm.start_throttling()
+        engine = node.engine
+        def bulk():
+            descs = [DmaDescriptor(65536, write=True) for _ in range(4)]
+            yield from cm.b_channel.submit(descs)
+            yield descs[-1].done
+        engine.process(bulk())
+        # Pause inside the first tick's CHANCMD window [20000, 20074).
+        engine.run(until=20_040)
+        assert cm.b_channel.bytes_moved > 0.05 * 20_000, \
+            "precondition: the t=20000 tick must have decided to suspend"
+        assert not cm.b_channel.suspended, \
+            "precondition: the CHANCMD must still be in flight"
+        cm.stop()
+        engine.run()
+        assert not cm.b_channel.suspended, \
+            "stop() during the CHANCMD window left the channel suspended"
+        def late():
+            d = DmaDescriptor(65536, write=True)
+            yield from cm.b_channel.submit([d])
+            yield d.done
+            return d.status
+        assert run_proc(engine, late()) == "ok"

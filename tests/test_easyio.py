@@ -3,10 +3,9 @@ locking, selective offload, and the Naive ablation."""
 
 import pytest
 
-from repro.core import ChannelManager, EasyIoFS, NaiveAsyncFS
+from repro.core import EasyIoFS, NaiveAsyncFS
 from repro.fs import PMImage
 from repro.fs.recovery import completion_buffer_validator, recover
-from repro.fs.structures import PAGE_SIZE
 from repro.hw.platform import Platform, PlatformConfig
 from tests.conftest import run_proc
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fs.pmimage import ELIDED, MutationRecord, PMImage
+from repro.fs.pmimage import MutationRecord, PMImage
 from repro.fs.structures import FileKind, Inode, WriteEntry
 
 

@@ -1,7 +1,6 @@
 """Tests for post-crash recovery (tail scan, SN validation, journal,
 orphans)."""
 
-import pytest
 
 from repro.fs import NovaFS, PMImage
 from repro.fs.recovery import (

@@ -137,6 +137,71 @@ class TestSuspendResume:
             return ch.completion_sn
         assert run_proc(engine, body()) == 1
 
+    def test_suspend_mid_transfer_holds_queued_descriptors(self, node):
+        """The in-flight descriptor runs to completion; everything
+        still in the ring waits for the resume."""
+        ch = node.dma.channel(0)
+        engine = node.engine
+        def body():
+            first = DmaDescriptor(1 << 20, write=True)
+            rest = [DmaDescriptor(4096, write=True) for _ in range(3)]
+            yield from ch.submit([first] + rest)
+            yield engine.timeout(5000)     # first is mid-transfer
+            ch.suspend()
+            yield first.done
+            assert ch.completion_sn == 1
+            yield engine.timeout(200_000)
+            assert not any(d.done.triggered for d in rest), \
+                "suspended channel fetched new descriptors"
+            ch.resume()
+            for d in rest:
+                yield d.done
+        run_proc(engine, body())
+        assert ch.completion_sn == 4
+
+    def test_suspend_resume_across_ring_wraparound(self, node):
+        """Suspending with descriptors spanning the ring wraparound
+        must not lose or reorder them, and CNT must bump exactly once."""
+        ch = node.dma.channel(0)
+        ring = node.model.dma_ring_size
+        engine = node.engine
+        def body():
+            for _ in range(ring - 2):
+                d = DmaDescriptor(4096, write=True)
+                yield from ch.submit([d])
+                yield d.done
+            ch.suspend()
+            descs = [DmaDescriptor(4096, write=True) for _ in range(4)]
+            yield from ch.submit(descs)
+            yield engine.timeout(200_000)
+            assert not any(d.done.triggered for d in descs)
+            ch.resume()
+            for d in descs:
+                yield d.done
+            return [d.sn for d in descs]
+        sns = run_proc(engine, body())
+        assert sns == [ring - 1, ring, ring + 1, ring + 2]
+        assert ch.completion_cnt == 1
+        assert ch.completion_addr == 2
+
+    def test_completion_event_ordering_across_wraparound(self, node):
+        """completion_event waiters fire in SN order even when their
+        target SNs span a wraparound and were registered out of order
+        (the CNT-extended SN is what orders them, not the raw ADDR)."""
+        ch = node.dma.channel(0)
+        ring = node.model.dma_ring_size
+        fired = []
+        def body():
+            for sn in (ring - 1, ring + 3, ring + 1):
+                ev = ch.completion_event(sn)
+                ev.add_callback(lambda e, sn=sn: fired.append(sn))
+            for _ in range(ring + 3):
+                d = DmaDescriptor(4096, write=True)
+                yield from ch.submit([d])
+                yield d.done
+        run_proc(node.engine, body())
+        assert fired == [ring - 1, ring + 1, ring + 3]
+
     def test_suspended_property(self, node):
         ch = node.dma.channel(0)
         assert not ch.suspended

@@ -5,12 +5,9 @@ import pytest
 from repro.hw.memory import (
     CPU_GROUP,
     DELEGATION_GROUP,
-    DMA_GROUP,
     BandwidthPool,
-    SlowMemory,
     _waterfill,
 )
-from repro.hw.params import CostModel
 from tests.conftest import run_proc
 
 

@@ -8,7 +8,6 @@ timing and CPU consumption.  Recovery must round-trip for all of them.
 import pytest
 
 from repro.crash.crashmonkey import snapshot_with_content
-from repro.fs import PMImage
 from repro.fs.recovery import completion_buffer_validator, recover
 from repro.hw.platform import Platform, PlatformConfig
 from repro.workloads.factory import FS_KINDS, make_fs

@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for the core invariants DESIGN.md
 calls out."""
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings

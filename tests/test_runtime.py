@@ -5,7 +5,6 @@ import pytest
 from repro.fs import NovaFS, PMImage
 from repro.core import EasyIoFS
 from repro.runtime import Compute, Runtime, Sleep, Syscall, Yield
-from repro.runtime.uthread import UthreadState
 
 
 class TestBasics:
