@@ -1,0 +1,56 @@
+"""Wall-clock safety net: no test may hang the suite.
+
+The simulator's failure mode for a lost wakeup used to be an engine
+that never drains -- i.e. a silently hung pytest run.  The watchdog
+(DESIGN.md §8) converts in-simulation hangs into drained engines, and
+this cap converts everything else (a genuine infinite loop in the
+harness itself) into a failed test.
+
+When the pytest-timeout plugin is installed (the ``dev`` extra; CI
+installs it) it enforces the ``timeout`` ini option from pyproject.toml
+and this file stays out of its way.  Without the plugin we register the
+same ini option ourselves (so pytest does not warn about it) and
+enforce it with SIGALRM where the platform supports that.
+"""
+
+import signal
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+_DEFAULT_TIMEOUT_S = 120
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PLUGIN:
+        parser.addini("timeout",
+                      "per-test wall-clock cap in seconds "
+                      "(fallback for the pytest-timeout plugin)",
+                      default=None)
+
+
+if not _HAVE_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        raw = item.config.getini("timeout")
+        seconds = int(float(raw)) if raw else _DEFAULT_TIMEOUT_S
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"{item.nodeid} exceeded the {seconds}s wall-clock cap")
+
+        old_handler = signal.signal(signal.SIGALRM, _expired)
+        old_alarm = signal.alarm(seconds)
+        try:
+            return (yield)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, old_handler)
+            if old_alarm:
+                signal.alarm(old_alarm)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""What happens when offered load exceeds the data path's capacity.
+
+An open-loop Poisson stream (arrivals do not slow down when the system
+backs up) drives the EasyIO runtime at ~3x its 2-core capacity, four
+ways:
+
+* unprotected          -- queues and p99 grow with the burst length;
+* deadline-only        -- per-request deadlines bound p99, but only
+                          after wasting queue time (poor goodput);
+* admission (reject)   -- a queue-depth gate fails the excess fast,
+                          bounding backlog AND beating the deadline-only
+                          goodput;
+* admission (shed)     -- same, but high-priority requests ride through.
+
+Every run is deterministic (seeded arrivals, simulated clock).
+
+Run:  python examples/overload.py
+"""
+
+from repro.analysis.report import fmt_counters, fmt_table
+from repro.workloads.overload import OverloadConfig, run_overload
+
+RATE = 600_000
+DURATION_US = 2000
+DEADLINE_US = 300
+QDEPTH = 16
+
+
+def main():
+    configs = [
+        ("unprotected", OverloadConfig(
+            arrival_rate_ops_per_sec=RATE, duration_us=DURATION_US,
+            deadline_us=None)),
+        ("deadline-only", OverloadConfig(
+            arrival_rate_ops_per_sec=RATE, duration_us=DURATION_US,
+            deadline_us=DEADLINE_US)),
+        ("admission/reject", OverloadConfig(
+            arrival_rate_ops_per_sec=RATE, duration_us=DURATION_US,
+            deadline_us=DEADLINE_US, admission_policy="reject",
+            max_queue_depth=QDEPTH, watchdog=True)),
+        ("admission/shed", OverloadConfig(
+            arrival_rate_ops_per_sec=RATE, duration_us=DURATION_US,
+            deadline_us=DEADLINE_US, admission_policy="shed",
+            max_queue_depth=QDEPTH, priority_fraction=0.2)),
+    ]
+    rows = []
+    last = None
+    for name, cfg in configs:
+        r = last = run_overload(cfg)
+        rows.append([name, r.offered, r.completed, r.rejected,
+                     r.deadline_missed, r.queue_high_water,
+                     f"{r.p99_us:.0f}", f"{r.goodput:.2f}",
+                     r.drain_ns // 1000])
+    print(f"open-loop overload: {RATE // 1000}k ops/s offered on 2 cores "
+          f"for {DURATION_US} us ({DEADLINE_US} us deadlines)\n")
+    print(fmt_table(["config", "offered", "done", "rej", "miss",
+                     "queue hw", "p99 us", "goodput", "drain us"], rows))
+    print()
+    print(fmt_counters("admission/shed counters", last.stats))
+    print("\nRejecting early is kinder than failing late: the admission "
+          "gate turns excess load into fast failures, so the requests "
+          "that ARE admitted keep a bounded p99 -- and more of them "
+          "finish in time than with deadlines alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,8 @@ for the reproduction methodology and results.
 
 from repro.baselines import NovaDmaFS, OdinfsFS
 from repro.core import AppProfile, ChannelManager, EasyIoFS, NaiveAsyncFS
-from repro.fs import FsError, NovaFS, OpResult, PMImage, recover
+from repro.fs import (DeadlineExceeded, FsError, NovaFS, OpResult, PMImage,
+                      recover)
 from repro.hw import CostModel, Platform, PlatformConfig
 from repro.runtime import Compute, Runtime, Sleep, Syscall, Yield
 
@@ -43,6 +44,7 @@ __all__ = [
     "ChannelManager",
     "Compute",
     "CostModel",
+    "DeadlineExceeded",
     "EasyIoFS",
     "FsError",
     "NaiveAsyncFS",

@@ -6,16 +6,18 @@ renders the text tables and series the benchmark harness prints for
 each reproduced figure/table.
 """
 
-from repro.analysis.metrics import (FaultStats, LatencySeries, Timeline,
-                                    ThroughputMeter)
-from repro.analysis.report import fmt_table, fmt_series, banner
+from repro.analysis.metrics import (FaultStats, LatencySeries, OverloadStats,
+                                    Timeline, ThroughputMeter)
+from repro.analysis.report import banner, fmt_counters, fmt_series, fmt_table
 
 __all__ = [
     "FaultStats",
     "LatencySeries",
+    "OverloadStats",
     "ThroughputMeter",
     "Timeline",
     "banner",
+    "fmt_counters",
     "fmt_series",
     "fmt_table",
 ]

@@ -44,6 +44,43 @@ class FaultStats:
         return completed_ops / total if total else 1.0
 
 
+@dataclass
+class OverloadStats:
+    """Counters for the overload-robustness paths.
+
+    One instance is shared by the admission controller, the scheduler's
+    syscall dispatch, the filesystem's deadline checks, and the
+    watchdog, so a benchmark reads one coherent picture of how an
+    overload episode was absorbed: what was admitted, what was turned
+    away (and under which policy), and what missed its deadline anyway.
+    """
+
+    admitted: int = 0             # syscalls let through the gate
+    rejected: int = 0             # turned away (policy "reject")
+    shed: int = 0                 # low-priority ops dropped under load
+    degraded_to_sync: int = 0     # forced onto the memcpy path
+    timeouts: int = 0             # WaitTimeout raised by timed waits
+    cancelled: int = 0            # in-flight work cut short by a deadline
+    deadline_misses: int = 0      # ops that raised DeadlineExceeded
+    watchdog_trips: int = 0       # uthreads flagged as hung
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def any_overload(self) -> bool:
+        """Whether any op was turned away, degraded, or cut short."""
+        counted = self.as_dict()
+        counted.pop("admitted")
+        return any(counted.values())
+
+    def goodput(self, completed_ops: int) -> float:
+        """Fraction of offered load that completed in time."""
+        offered = (completed_ops + self.rejected + self.shed
+                   + self.deadline_misses)
+        return completed_ops / offered if offered else 1.0
+
+
 class LatencySeries:
     """A collection of latency samples (ns) with percentile queries."""
 

@@ -48,6 +48,17 @@ def fmt_series(name: str, xs: Sequence, ys: Sequence[float],
     return f"{name}: {pairs}"
 
 
+def fmt_counters(title: str, counters, skip_zero: bool = True) -> str:
+    """Render a counter set (FaultStats/OverloadStats or a plain dict)
+    as a two-column table."""
+    as_dict = getattr(counters, "as_dict", None)
+    data = as_dict() if callable(as_dict) else dict(counters)
+    rows = [(k, v) for k, v in data.items() if v or not skip_zero]
+    if not rows:
+        return f"{title}: (all zero)"
+    return f"{title}\n" + fmt_table(("counter", "value"), rows)
+
+
 def sparkline(values: Sequence[float], width: int = 60) -> str:
     """A coarse unicode sparkline for timeline sanity checks."""
     if not values:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.analysis.metrics import OverloadStats
 from repro.core.channel_manager import AppProfile, ChannelManager
 from repro.fs.nova import NovaFS, OpContext, OpResult
 from repro.fs.pmimage import ELIDED, PMImage
@@ -81,12 +82,19 @@ class EasyIoFS(NovaFS):
     DMA_RETRY_CAP_NS = 64_000
     #: Give up on a page after this many checksum-verify rewrites.
     MEDIA_REWRITE_MAX = 8
+    #: Below this much remaining deadline budget the async path is not
+    #: worth the completion-wait risk: stay on the memcpy path.
+    DEADLINE_MIN_ASYNC_NS = 10_000
 
     def __init__(self, platform: Platform, image: Optional[PMImage] = None,
                  channel_manager: Optional[ChannelManager] = None,
-                 fault_tolerant: Optional[bool] = None):
+                 fault_tolerant: Optional[bool] = None,
+                 overload_stats: Optional[OverloadStats] = None):
         super().__init__(platform, image)
         self.cm = channel_manager or ChannelManager(platform)
+        #: Overload/deadline counters, shareable with the runtime's
+        #: admission controller and watchdog.
+        self.overload_stats = overload_stats or OverloadStats()
         self.dma_writes = 0
         self.dma_reads = 0
         self.memcpy_reads = 0
@@ -145,25 +153,21 @@ class EasyIoFS(NovaFS):
         all-data-landed event instead of the raw completion buffer: a
         halted channel's completion may never arrive, but the
         supervisor always resolves (retry, failover, or memcpy).
+
+        With a context deadline the wait is bounded: it raises
+        :class:`DeadlineExceeded` (detaching from, never cancelling,
+        the shared completion event) once the budget runs out.
         """
         done = m.pending_done
         if done is not None and not done.triggered:
-            t0 = self.engine.now
-            yield done
-            waited = self.engine.now - t0
-            if ctx.record:
-                ctx.breakdown["wait"] += waited
-            ctx.cpu_ns += waited
+            yield from ctx.timed_wait(done, what=f"level-2 wait ino{m.ino}")
             return
         for chid, sn in m.pending_sns:
             ch = self.platform.dma.channel(chid)
             if not ch.is_complete(sn):
-                t0 = self.engine.now
-                yield ch.completion_event(sn)
-                waited = self.engine.now - t0
-                if ctx.record:
-                    ctx.breakdown["wait"] += waited
-                ctx.cpu_ns += waited
+                yield from ctx.timed_wait(
+                    ch.completion_event(sn),
+                    what=f"level-2 completion ch{chid}/sn{sn}")
 
     # ------------------------------------------------------------------
     # Write path: orderless file operation (§4.2)
@@ -174,8 +178,13 @@ class EasyIoFS(NovaFS):
             # Write-write conflict: an unfinished earlier write blocks us.
             yield from self._wait_level2(ctx, m)
             yield from self._charge_lock_contention(ctx)
+            # Clean abort point: nothing allocated or submitted yet.
+            ctx.check_deadline(f"write ino{m.ino} pre-submit")
             prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
             offload = self.cm.should_offload_write(nbytes)
+            if offload and self._budget_forces_sync(ctx):
+                self.overload_stats.degraded_to_sync += 1
+                offload = False
             channel = self.cm.write_channel(ctx.app) if offload else None
             if channel is None:
                 # Selective offloading keeps small I/O on the CPU; a
@@ -203,7 +212,7 @@ class EasyIoFS(NovaFS):
                     ctx, m, prep, sns=sns, free_on=pending)
                 self.engine.process(
                     self._supervise_write(ctx.app, m, jobs, sns, log_idx,
-                                          pending),
+                                          pending, deadline=ctx.deadline),
                     name=f"supervise-w-ino{m.ino}")
                 m.pending_done = pending
             else:
@@ -291,13 +300,22 @@ class EasyIoFS(NovaFS):
             return descs[0].done
         return self.engine.all_of([d.done for d in descs])
 
+    def _budget_forces_sync(self, ctx: OpContext) -> bool:
+        """Overload policy: run the data path synchronously when the
+        scheduler demanded it or the deadline budget is too thin."""
+        if ctx.force_sync:
+            return True
+        rem = ctx.remaining()
+        return rem is not None and rem < self.DEADLINE_MIN_ASYNC_NS
+
     # ------------------------------------------------------------------
     # Fault supervision: retry / failover / graceful degradation
     # ------------------------------------------------------------------
     def _supervise_write(self, app: Optional[AppProfile], m: MemInode,
                          jobs: List[_DmaJob],
                          orig_sns: Tuple[Tuple[int, int], ...],
-                         log_idx: int, outer):
+                         log_idx: int, outer,
+                         deadline: Optional[int] = None):
         """Drive one write's descriptors to resolution, then settle the
         log entry.
 
@@ -308,8 +326,11 @@ class EasyIoFS(NovaFS):
         or degradation), so recovery judges the entry by SNs that are
         actually achievable.  Only then does ``outer`` fire -- which
         releases level-2 waiters and recycles the replaced CoW pages.
+
+        ``deadline`` bounds the retry/backoff loop: once it passes, the
+        supervisor stops gambling on retries and degrades immediately.
         """
-        yield from self._resolve_jobs(app, m.ino, jobs)
+        yield from self._resolve_jobs(app, m.ino, jobs, deadline=deadline)
         final_sns = tuple(j.final for j in jobs if j.final)
         if final_sns != orig_sns:
             self.image.amend_log_sns(m.ino, log_idx, final_sns)
@@ -318,14 +339,15 @@ class EasyIoFS(NovaFS):
         outer.succeed(None)
 
     def _supervise_read(self, app: Optional[AppProfile], ino: int,
-                        jobs: List[_DmaJob], outer):
+                        jobs: List[_DmaJob], outer,
+                        deadline: Optional[int] = None):
         """Drive one read's descriptors to resolution (reads carry no
         SNs, so no log settlement is needed)."""
-        yield from self._resolve_jobs(app, ino, jobs)
+        yield from self._resolve_jobs(app, ino, jobs, deadline=deadline)
         outer.succeed(None)
 
     def _resolve_jobs(self, app: Optional[AppProfile], ino: int,
-                      jobs: List[_DmaJob]):
+                      jobs: List[_DmaJob], deadline: Optional[int] = None):
         stats = self.fault_stats
         attempt = 0
         while True:
@@ -350,12 +372,21 @@ class EasyIoFS(NovaFS):
                     # Soft error: feed the health tracker.  Halts and
                     # strands are already accounted via on_halt.
                     self.cm.note_error(j.channel)
-            if attempt > self.DMA_RETRY_MAX:
+            past_deadline = (deadline is not None
+                             and self.engine.now >= deadline)
+            if attempt > self.DMA_RETRY_MAX or past_deadline:
+                # Out of retry budget -- or out of time: a missed
+                # deadline cancels the remaining retry/backoff rounds
+                # and settles the data via memcpy right now.
+                if past_deadline and attempt <= self.DMA_RETRY_MAX:
+                    self.overload_stats.cancelled += len(bad)
                 for j in bad:
                     yield from self._degrade_job(j, ino)
                 continue
             backoff = min(self.DMA_RETRY_BASE_NS * (2 ** (attempt - 1)),
                           self.DMA_RETRY_CAP_NS)
+            if deadline is not None:
+                backoff = min(backoff, max(0, deadline - self.engine.now))
             yield self.engine.timeout(backoff)
             for j in bad:
                 soft = (j.desc.status == "error"
@@ -395,11 +426,15 @@ class EasyIoFS(NovaFS):
                       nbytes: int, runs, want_data: bool):
         jobs: List[_DmaJob] = []
         try:
+            force_sync = self._budget_forces_sync(ctx)
+            if force_sync and any(pages for _off, pages in runs):
+                self.overload_stats.degraded_to_sync += 1
             for _off, pages in runs:
                 if not pages:
                     continue
                 run_bytes = len(pages) * PAGE_SIZE
-                channel = self.cm.admit_read(run_bytes, ctx.app)
+                channel = (None if force_sync
+                           else self.cm.admit_read(run_bytes, ctx.app))
                 if channel is None:
                     self.memcpy_reads += 1
                     yield from ctx.timed_cpu(
@@ -432,7 +467,8 @@ class EasyIoFS(NovaFS):
             if self._supervised():
                 pending = self.engine.event()
                 self.engine.process(
-                    self._supervise_read(ctx.app, m.ino, jobs, pending),
+                    self._supervise_read(ctx.app, m.ino, jobs, pending,
+                                         deadline=ctx.deadline),
                     name=f"supervise-r-ino{m.ino}")
             else:
                 pending = self._pending_event([j.desc for j in jobs])

@@ -24,10 +24,11 @@ from repro.fs.structures import (
     FileKind,
 )
 from repro.fs.alloc import PageAllocator
-from repro.fs.nova import FsError, NovaFS, OpResult
+from repro.fs.nova import DeadlineExceeded, FsError, NovaFS, OpResult
 from repro.fs.recovery import recover
 
 __all__ = [
+    "DeadlineExceeded",
     "DentryEntry",
     "FileKind",
     "FsError",

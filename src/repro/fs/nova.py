@@ -36,13 +36,22 @@ from repro.fs.structures import (
 )
 from repro.hw.params import CostModel
 from repro.hw.platform import Platform
-from repro.sim import Event, RWLock
+from repro.sim import Event, RWLock, WaitTimeout
 
 ROOT_INO = 0
 
 
 class FsError(Exception):
     """Filesystem-level error (ENOENT, EEXIST, ...)."""
+
+
+class DeadlineExceeded(FsError):
+    """The operation's deadline passed before it could finish.
+
+    Raised only at clean abort points: before any data movement has
+    been submitted, or while waiting on a lock/completion -- never in
+    the middle of a metadata commit, so filesystem state stays legal.
+    """
 
 
 class OpContext:
@@ -56,7 +65,8 @@ class OpContext:
 
     PHASES = ("metadata", "memcpy", "indexing", "syscall", "wait")
 
-    def __init__(self, platform: Platform, core=None, record: bool = True):
+    def __init__(self, platform: Platform, core=None, record: bool = True,
+                 deadline: Optional[int] = None):
         self.platform = platform
         self.engine = platform.engine
         self.core = core
@@ -69,6 +79,57 @@ class OpContext:
         #: Waiters racing for the file lock at acquire time (set by
         #: _acquire_file_lock, consumed by _charge_lock_contention).
         self.lock_racing = 0
+        #: Absolute simulated-time deadline (ns); None = unbounded.
+        self.deadline = deadline
+        #: Overload policy: force the synchronous (memcpy) data path.
+        self.force_sync = False
+
+    def remaining(self) -> Optional[int]:
+        """Nanoseconds of budget left, or None when unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.engine.now
+
+    def check_deadline(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.deadline is not None and self.engine.now >= self.deadline:
+            raise DeadlineExceeded(
+                f"{what}: deadline {self.deadline} passed "
+                f"(now={self.engine.now})")
+
+    def timed_wait(self, event: Event, what: str = "wait"):
+        """Wait on ``event``, bounded by the context deadline.
+
+        The elapsed time is charged to the "wait" phase as spinning CPU
+        (like the level-2 wait).  On expiry raises
+        :class:`DeadlineExceeded`; the shared ``event`` is only
+        *detached from*, never cancelled, so other waiters still see it
+        fire.
+        """
+        t0 = self.engine.now
+        try:
+            if self.deadline is None or event.triggered:
+                value = yield event
+                return value
+            rem = self.deadline - self.engine.now
+            if rem <= 0:
+                raise DeadlineExceeded(
+                    f"{what}: no budget left before wait")
+            timer = self.engine.timeout(rem)
+            fired = yield self.engine.any_of([event, timer])
+            if event in fired:
+                if not timer.processed:
+                    timer.cancel()
+                return fired[event]
+            raise DeadlineExceeded(
+                f"{what}: deadline exceeded after "
+                f"{self.engine.now - t0} ns wait")
+        finally:
+            waited = self.engine.now - t0
+            if waited:
+                if self.record:
+                    self.breakdown["wait"] += waited
+                self.cpu_ns += waited
 
     def charge(self, phase: str, ns: int):
         """Burn ``ns`` of CPU time attributed to ``phase``."""
@@ -92,8 +153,10 @@ class OpContext:
         """Wait on an event without consuming CPU (kernel sleep)."""
         if self.core is not None and self.core.busy:
             self.core.mark_idle()
-            value = yield event
-            self.core.mark_busy()
+            try:
+                value = yield event
+            finally:
+                self.core.mark_busy()
         else:
             value = yield event
         return value
@@ -168,9 +231,11 @@ class NovaFS:
             raise FsError(f"no such inode: {ino}")
         return m
 
-    def context(self, core=None, record: bool = True) -> OpContext:
+    def context(self, core=None, record: bool = True,
+                deadline: Optional[int] = None) -> OpContext:
         """Create the accounting context for one operation."""
-        return OpContext(self.platform, core=core, record=record)
+        return OpContext(self.platform, core=core, record=record,
+                         deadline=deadline)
 
     # ------------------------------------------------------------------
     # Path resolution
@@ -586,18 +651,26 @@ class NovaFS:
 
     def _read_locked(self, ctx: OpContext, m: MemInode, offset: int,
                      nbytes: int, want_data: bool):
-        # Level-2 conflict check (no-op for synchronous filesystems):
-        # an earlier write whose DMA is still in flight blocks us.
-        yield from self._wait_level2(ctx, m)
-        nbytes = max(0, min(nbytes, m.size - offset))
-        if nbytes == 0:
+        try:
+            # Level-2 conflict check (no-op for synchronous filesystems):
+            # an earlier write whose DMA is still in flight blocks us.
+            # Under a deadline it can raise DeadlineExceeded.
+            yield from self._wait_level2(ctx, m)
+            nbytes = max(0, min(nbytes, m.size - offset))
+            if nbytes == 0:
+                m.lock.release_read()
+                return OpResult(value=b"" if want_data else 0, ctx=ctx)
+            pgoff = offset // PAGE_SIZE
+            last = (offset + nbytes - 1) // PAGE_SIZE
+            npages = last - pgoff + 1
+            yield from ctx.charge("indexing",
+                                  self.model.index_lookup_cost * npages)
+            runs = [(off, pages) for off, pages in m.extent_runs(pgoff, npages)]
+        except BaseException:
+            # The zero-byte branch returns right after releasing, so
+            # reaching here means the read lock is still held.
             m.lock.release_read()
-            return OpResult(value=b"" if want_data else 0, ctx=ctx)
-        pgoff = offset // PAGE_SIZE
-        last = (offset + nbytes - 1) // PAGE_SIZE
-        npages = last - pgoff + 1
-        yield from ctx.charge("indexing", self.model.index_lookup_cost * npages)
-        runs = [(off, pages) for off, pages in m.extent_runs(pgoff, npages)]
+            raise
         result = yield from self._read_extents(ctx, m, offset, nbytes, runs,
                                                want_data)
         return result
@@ -641,9 +714,17 @@ class NovaFS:
         effect that makes DWOM throughput decline as writers are added.
         """
         t0 = self.engine.now
-        event = (m.lock.acquire_write() if write else m.lock.acquire_read())
+        timeout = ctx.remaining()
+        if timeout is not None and timeout <= 0:
+            raise DeadlineExceeded(
+                f"file lock ino{m.ino}: no budget left before acquire")
+        event = (m.lock.acquire_write(timeout=timeout) if write
+                 else m.lock.acquire_read(timeout=timeout))
         racing = m.lock.queued
-        yield from ctx.idle_wait(event)
+        try:
+            yield from ctx.idle_wait(event)
+        except WaitTimeout as exc:
+            raise DeadlineExceeded(f"file lock ino{m.ino}: {exc}") from exc
         yield from ctx.charge("syscall", self.model.lock_cost)
         contended = (self.engine.now > t0) or racing
         ctx.lock_racing = max(1, racing) if contended else 0

@@ -17,16 +17,22 @@ The EasyIO integration contract (paper §5) is implemented exactly:
   (work stealing can be disabled, as the Figure 11 ablation requires).
 """
 
+from repro.runtime.admission import AdmissionController, OverloadRejected
 from repro.runtime.effects import Compute, Sleep, Syscall, Yield
 from repro.runtime.scheduler import CoreScheduler, Runtime
 from repro.runtime.uthread import Uthread
+from repro.runtime.watchdog import HangReport, Watchdog
 
 __all__ = [
+    "AdmissionController",
     "Compute",
     "CoreScheduler",
+    "HangReport",
+    "OverloadRejected",
     "Runtime",
     "Sleep",
     "Syscall",
     "Uthread",
+    "Watchdog",
     "Yield",
 ]

@@ -25,12 +25,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
-from repro.fs.nova import OpContext
+from repro.analysis.metrics import OverloadStats
+from repro.fs.nova import DeadlineExceeded, FsError, OpContext
 from repro.hw.cpu import Core
 from repro.hw.platform import Platform
+from repro.runtime.admission import AdmissionController, OverloadRejected
 from repro.runtime.effects import Compute, Sleep, Syscall, Yield
 from repro.runtime.uthread import Uthread, UthreadState
-from repro.sim import Event, Gate
+from repro.sim import Event, Gate, WaitTimeout
 
 
 class CoreScheduler:
@@ -45,6 +47,8 @@ class CoreScheduler:
         self._wake = Gate(self.engine)
         self.switches = 0
         self.steals = 0
+        #: Deepest combined run queue ever seen (backpressure signal).
+        self.queue_high_water = 0
         self._proc = self.engine.process(self._loop(),
                                          name=f"sched-core{core.core_id}")
 
@@ -54,6 +58,7 @@ class CoreScheduler:
         ut.state = UthreadState.RUNNABLE
         ut.home = self
         (self.completed_q if completed else self.fresh_q).append(ut)
+        self.queue_high_water = max(self.queue_high_water, self.queue_len)
         self._wake.pulse()
 
     @property
@@ -114,21 +119,31 @@ class CoreScheduler:
         if getattr(ut, "pending_continuation", None) is not None:
             make, result = ut.pending_continuation
             ut.pending_continuation = None
-            ctx = OpContext(self.runtime.platform, core=self.core)
+            ctx = OpContext(self.runtime.platform, core=self.core,
+                            deadline=ut.deadline)
             yield from make(ctx)
             ut.resume_value = result
         value = ut.resume_value
         ut.resume_value = None
+        #: Exception to deliver into the body instead of a value --
+        #: how syscall-level failures (DeadlineExceeded, WaitTimeout,
+        #: OverloadRejected) reach application code without killing
+        #: the scheduler.
+        throw: Optional[BaseException] = None
         while True:
             try:
-                effect = ut.body.send(value)
+                if throw is not None:
+                    exc, throw = throw, None
+                    effect = ut.body.throw(exc)
+                else:
+                    effect = ut.body.send(value)
             except StopIteration as stop:
                 ut.finish(stop.value)
-                self.runtime._uthread_finished()
+                self.runtime._uthread_finished(ut)
                 return
             except BaseException as exc:
                 ut.fail(exc)
-                self.runtime._uthread_finished()
+                self.runtime._uthread_finished(ut)
                 raise
             value = None
             if isinstance(effect, Compute):
@@ -136,6 +151,8 @@ class CoreScheduler:
             elif isinstance(effect, Yield):
                 ut.state = UthreadState.RUNNABLE
                 self.fresh_q.append(ut)
+                self.queue_high_water = max(self.queue_high_water,
+                                            self.queue_len)
                 return
             elif isinstance(effect, Sleep):
                 ut.state = UthreadState.PARKED
@@ -144,8 +161,37 @@ class CoreScheduler:
                 wake.add_callback(lambda _e, u=ut: home.enqueue(u))
                 return
             elif isinstance(effect, Syscall):
-                ctx = OpContext(self.runtime.platform, core=self.core)
-                result = yield from effect.op(ctx)
+                admission = self.runtime.admission
+                verdict = ("admit" if admission is None
+                           else admission.admit(ut.priority))
+                if verdict == "reject":
+                    # Turned away at the gate: the syscall entry was
+                    # still paid, then the error surfaces in the app.
+                    yield self.engine.timeout(model.syscall_cost)
+                    throw = OverloadRejected(
+                        f"syscall by {ut.name} rejected under overload")
+                    continue
+                ctx = OpContext(self.runtime.platform, core=self.core,
+                                deadline=ut.deadline)
+                if verdict == "degrade":
+                    ctx.force_sync = True
+                try:
+                    result = yield from effect.op(ctx)
+                except (FsError, WaitTimeout) as exc:
+                    # Typed op failure: release the admission slot,
+                    # count it, and deliver into the app -- the
+                    # scheduler itself must survive.
+                    if admission is not None:
+                        admission.release()
+                    stats = self.runtime.overload_stats
+                    if isinstance(exc, DeadlineExceeded):
+                        stats.deadline_misses += 1
+                    elif isinstance(exc, WaitTimeout):
+                        stats.timeouts += 1
+                    ut.syscalls += 1
+                    yield self.engine.timeout(model.completion_poll_cost)
+                    throw = exc
+                    continue
                 ut.syscalls += 1
                 # Returning from the kernel: poll completion buffers.
                 yield self.engine.timeout(model.completion_poll_cost)
@@ -153,16 +199,21 @@ class CoreScheduler:
                     ut.state = UthreadState.PARKED
                     ut.io_parked = True
                     ut.parks += 1
-                    self._park(ut, result)
+                    self._park(ut, result, admission)
                     return
+                if admission is not None:
+                    admission.release()
                 value = result
             else:
                 raise TypeError(
                     f"uthread {ut.name} yielded unknown effect {effect!r}")
 
-    def _park(self, ut: Uthread, result) -> None:
+    def _park(self, ut: Uthread, result,
+              admission: Optional[AdmissionController] = None) -> None:
         """Park until the op's pending I/O completes, then requeue."""
         def on_complete(_event):
+            if admission is not None:
+                admission.release()
             ut.io_parked = False
             continuation = getattr(result, "continuation", None)
             if continuation is not None:
@@ -176,40 +227,79 @@ class CoreScheduler:
 
 
 class Runtime:
-    """The userspace runtime: one scheduler per dedicated core."""
+    """The userspace runtime: one scheduler per dedicated core.
+
+    ``admission`` installs an :class:`AdmissionController` in front of
+    syscall submission; its ``depth_fn`` is wired to the longest
+    per-core run queue unless already set.  ``overload_stats`` shares
+    one counter set between the controller, the schedulers, the
+    filesystem, and a watchdog.
+    """
 
     def __init__(self, platform: Platform, cores: Optional[List[Core]] = None,
-                 steal: bool = True):
+                 steal: bool = True,
+                 admission: Optional[AdmissionController] = None,
+                 overload_stats: Optional[OverloadStats] = None):
         self.platform = platform
         self.engine = platform.engine
         self.steal = steal
         self.cores = cores if cores is not None else platform.cores
         if not self.cores:
             raise ValueError("runtime needs at least one core")
+        self.admission = admission
+        if overload_stats is not None:
+            self.overload_stats = overload_stats
+        elif admission is not None:
+            self.overload_stats = admission.stats
+        else:
+            self.overload_stats = OverloadStats()
         self.schedulers = [CoreScheduler(self, core) for core in self.cores]
+        if admission is not None and admission.depth_fn is None:
+            admission.depth_fn = self.max_queue_len
+        #: Live (spawned, unfinished) uthreads, in spawn order -- the
+        #: watchdog walks this to find parked-past-deadline uthreads.
+        self.live_uthreads: dict = {}
+        #: Hang watchdog, installed via Watchdog(...).attach(self).
+        self.watchdog = None
         self._active = 0
         self._drain_waiters: List[Event] = []
         self._spawn_rr = 0
 
+    def max_queue_len(self) -> int:
+        """Longest per-core run queue right now (backpressure signal)."""
+        return max(s.queue_len for s in self.schedulers)
+
     def spawn(self, body, core: Optional[int] = None,
-              name: Optional[str] = None) -> Uthread:
-        """Create a uthread and enqueue it (round-robin without ``core``)."""
-        ut = Uthread(self.engine, body, name=name)
+              name: Optional[str] = None,
+              deadline: Optional[int] = None, priority: int = 0) -> Uthread:
+        """Create a uthread and enqueue it (round-robin without ``core``).
+
+        ``deadline`` is an *absolute* simulated time (ns): it propagates
+        into every syscall the uthread issues and is what the watchdog
+        judges hangs against.  ``priority`` feeds admission control.
+        """
+        ut = Uthread(self.engine, body, name=name, deadline=deadline,
+                     priority=priority)
         if core is None:
             idx = self._spawn_rr % len(self.schedulers)
             self._spawn_rr += 1
         else:
             idx = core
         self._active += 1
+        self.live_uthreads[ut] = True
         self.schedulers[idx].enqueue(ut)
+        if self.watchdog is not None:
+            self.watchdog.notify()
         return ut
 
     @property
     def active_uthreads(self) -> int:
         return self._active
 
-    def _uthread_finished(self) -> None:
+    def _uthread_finished(self, ut: Optional[Uthread] = None) -> None:
         self._active -= 1
+        if ut is not None:
+            self.live_uthreads.pop(ut, None)
         if self._active == 0:
             waiters, self._drain_waiters = self._drain_waiters, []
             for ev in waiters:

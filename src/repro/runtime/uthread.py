@@ -28,7 +28,8 @@ class Uthread:
     _seq = 0
 
     def __init__(self, engine: Engine, body: Generator,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 deadline: Optional[int] = None, priority: int = 0):
         if not hasattr(body, "send"):
             raise TypeError(
                 f"uthread body must be a generator, got {type(body).__name__}")
@@ -38,6 +39,13 @@ class Uthread:
         self.body = body
         self.name = name or f"uthread-{self.uid}"
         self.state = UthreadState.RUNNABLE
+        #: Absolute simulated-time deadline (ns) propagated into every
+        #: syscall's OpContext; None = unbounded.
+        self.deadline = deadline
+        #: QoS class for admission control (higher = more important).
+        self.priority = priority
+        #: Set once the watchdog has reported this uthread as hung.
+        self.watchdog_flagged = False
         #: The scheduler currently responsible for running this uthread.
         self.home = None
         #: Value to send into the body on next resume.

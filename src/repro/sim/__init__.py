@@ -18,6 +18,7 @@ from repro.sim.engine import (
     Process,
     SimulationError,
     Timeout,
+    WaitTimeout,
 )
 from repro.sim.sync import (
     Barrier,
@@ -43,4 +44,5 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "WaitTimeout",
 ]

@@ -42,10 +42,20 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class WaitTimeout(Exception):
+    """A timed wait expired before it was granted.
+
+    Raised into processes waiting on a ``timeout=``-bounded primitive
+    (:meth:`~repro.sim.sync.Semaphore.acquire` and friends) and by any
+    other deadline-bounded wait built on :meth:`Event.cancel`.
+    """
+
+
 # Event states.
 _PENDING = 0
 _TRIGGERED = 1  # scheduled to fire, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
+_CANCELLED = 3  # withdrawn; callbacks will never run
 
 
 class Event:
@@ -70,12 +80,17 @@ class Event:
     @property
     def triggered(self) -> bool:
         """Whether the event has been scheduled to fire."""
-        return self._state != _PENDING
+        return self._state in (_TRIGGERED, _PROCESSED)
 
     @property
     def processed(self) -> bool:
         """Whether the event's callbacks have already run."""
         return self._state == _PROCESSED
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was withdrawn before its callbacks ran."""
+        return self._state == _CANCELLED
 
     @property
     def ok(self) -> bool:
@@ -114,14 +129,37 @@ class Event:
         self.engine._schedule(self)
         return self
 
+    def cancel(self) -> bool:
+        """Withdraw the event: its callbacks will never run.
+
+        A *pending* event becomes inert -- triggering it later is an
+        error, and any synchronisation primitive holding it in a waiter
+        queue skips it when granting.  A *triggered* event (already in
+        the schedule queue, e.g. a :class:`Timeout`) is skipped by the
+        engine when its turn comes.  Cancelling an already-cancelled
+        event is a no-op; cancelling a processed event is an error.
+
+        Returns True if this call performed the cancellation.
+        """
+        if self._state == _CANCELLED:
+            return False
+        if self._state == _PROCESSED:
+            raise SimulationError(f"cannot cancel processed event {self!r}")
+        self._state = _CANCELLED
+        self.callbacks = None
+        return True
+
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event fires.
 
         If the event has already been processed the callback runs
-        immediately (still at the current simulation time).
+        immediately (still at the current simulation time).  Adding a
+        callback to a cancelled event is a no-op.
         """
         if self._state == _PROCESSED:
             fn(self)
+        elif self._state == _CANCELLED:
+            return
         else:
             assert self.callbacks is not None
             self.callbacks.append(fn)
@@ -140,7 +178,7 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {_PENDING: "pending", _TRIGGERED: "triggered",
-                 _PROCESSED: "processed"}[self._state]
+                 _PROCESSED: "processed", _CANCELLED: "cancelled"}[self._state]
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
@@ -166,13 +204,23 @@ class AnyOf(Event):
     The value is a dict mapping the already-fired events to their
     values (there may be more than one if several fire at the same
     instant before callbacks run).
+
+    When the winner fires, the losing waiters are *detached*: this
+    AnyOf's callback is removed from them, so an abandoned race leaves
+    no dangling references on long-lived events.  With
+    ``cancel_losers=True`` still-pending losers are additionally
+    :meth:`~Event.cancel`-ed outright -- only safe when the losers are
+    private to this race (e.g. a timeout guard), never for shared
+    completion events that other waiters observe.
     """
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "cancel_losers")
 
-    def __init__(self, engine: "Engine", events: Iterable[Event]):
+    def __init__(self, engine: "Engine", events: Iterable[Event],
+                 cancel_losers: bool = False):
         super().__init__(engine)
         self.events = list(events)
+        self.cancel_losers = cancel_losers
         if not self.events:
             self.succeed({})
             return
@@ -182,11 +230,25 @@ class AnyOf(Event):
     def _on_fire(self, event: Event) -> None:
         if self._state != _PENDING:
             return
+        self._detach(winner=event)
         if not event._ok:
             self.fail(event._value)
             return
         fired = {ev: ev._value for ev in self.events if ev.processed or ev is event}
         self.succeed(fired)
+
+    def _detach(self, winner: Event) -> None:
+        """Unhook from the losing events (and optionally cancel them)."""
+        for ev in self.events:
+            if ev is winner:
+                continue
+            if ev.callbacks is not None:
+                try:
+                    ev.callbacks.remove(self._on_fire)
+                except ValueError:
+                    pass
+            if self.cancel_losers and not ev.processed and not ev.cancelled:
+                ev.cancel()
 
 
 class AllOf(Event):
@@ -331,9 +393,14 @@ class Engine:
         """Start a new process from a generator coroutine."""
         return Process(self, generator, name)
 
-    def any_of(self, events: Iterable[Event]) -> AnyOf:
-        """Event firing when the first of ``events`` fires."""
-        return AnyOf(self, events)
+    def any_of(self, events: Iterable[Event],
+               cancel_losers: bool = False) -> AnyOf:
+        """Event firing when the first of ``events`` fires.
+
+        Losing waiters are detached; ``cancel_losers=True`` also
+        cancels still-pending losers (safe only for private events).
+        """
+        return AnyOf(self, events, cancel_losers=cancel_losers)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event firing when all of ``events`` have fired."""
@@ -369,6 +436,10 @@ class Engine:
                 if until is not None and when > until:
                     break
                 heapq.heappop(self._queue)
+                if event._state == _CANCELLED:
+                    # Withdrawn after scheduling (e.g. a cancelled
+                    # Timeout): drop without advancing the clock.
+                    continue
                 self._now = when
                 event._process_callbacks()
             if until is not None and self._now < until:

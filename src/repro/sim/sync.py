@@ -3,14 +3,61 @@
 All primitives hand out :class:`~repro.sim.engine.Event` objects, so a
 process waits by ``yield``-ing the returned event.  Wakeup order is
 strictly FIFO, which keeps simulations deterministic.
+
+Every blocking operation takes an optional ``timeout=`` (nanoseconds).
+A bounded wait that expires fails its event with
+:class:`~repro.sim.engine.WaitTimeout` and *cancels* the queued waiter,
+so an expired waiter can never absorb a later grant: grant paths skip
+cancelled waiters lazily.  On a grant/timeout tie at the same
+simulated instant, the grant wins.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional
 
-from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.engine import Engine, Event, SimulationError, WaitTimeout
+
+
+def _timed(engine: Engine, waiter: Event, timeout: Optional[int],
+           what: str = "wait",
+           on_timeout: Optional[Callable[[], None]] = None) -> Event:
+    """Bound a queued ``waiter`` event by ``timeout`` nanoseconds.
+
+    Returns ``waiter`` unchanged when no bound is needed (no timeout,
+    or already granted).  Otherwise returns a fresh event that mirrors
+    the grant -- or fails with :class:`WaitTimeout` once the timer
+    expires, after cancelling ``waiter`` so the owning primitive can
+    never grant it.  ``on_timeout`` lets the primitive fix up internal
+    state (e.g. re-run an RWLock grant scan) after the cancellation.
+    """
+    if timeout is None or waiter.triggered:
+        return waiter
+    outer = engine.event()
+    timer = engine.timeout(timeout)
+
+    def granted(w: Event) -> None:
+        if outer.triggered:  # pragma: no cover - timer cancels waiter first
+            return
+        if not timer.processed:
+            timer.cancel()
+        if w.ok:
+            outer.succeed(w.value)
+        else:
+            outer.fail(w.value)
+
+    def expired(_t: Event) -> None:
+        if outer.triggered or waiter.triggered:
+            return  # granted at the same instant: the grant wins
+        waiter.cancel()
+        outer.fail(WaitTimeout(f"{what} timed out after {timeout} ns"))
+        if on_timeout is not None:
+            on_timeout()
+
+    waiter.add_callback(granted)
+    timer.add_callback(expired)
+    return outer
 
 
 class Semaphore:
@@ -39,18 +86,24 @@ class Semaphore:
 
     @property
     def queued(self) -> int:
-        """Number of processes waiting to acquire."""
-        return len(self._waiters)
+        """Number of processes waiting to acquire (live waiters only)."""
+        return sum(1 for w in self._waiters if not w.cancelled)
 
-    def acquire(self) -> Event:
-        """Return an event that fires once a slot is held."""
+    def acquire(self, timeout: Optional[int] = None) -> Event:
+        """Return an event that fires once a slot is held.
+
+        With ``timeout=`` the event instead fails with
+        :class:`WaitTimeout` if no slot frees up in time; the queued
+        waiter is cancelled and never takes a slot.
+        """
         ev = self.engine.event()
         if self._available > 0:
             self._available -= 1
             ev.succeed()
         else:
             self._waiters.append(ev)
-        return ev
+        return _timed(self.engine, ev, timeout,
+                      f"{type(self).__name__}.acquire")
 
     def try_acquire(self) -> bool:
         """Take a slot immediately if one is free."""
@@ -60,7 +113,9 @@ class Semaphore:
         return False
 
     def release(self) -> None:
-        """Free a slot, waking the oldest waiter if any."""
+        """Free a slot, waking the oldest live waiter if any."""
+        while self._waiters and self._waiters[0].cancelled:
+            self._waiters.popleft()
         if self._waiters:
             self._waiters.popleft().succeed()
         else:
@@ -86,12 +141,17 @@ class Lock(Semaphore):
         """Whether the lock is currently held."""
         return self._available == 0
 
-    def acquire(self, owner: Optional[object] = None) -> Event:
-        ev = super().acquire()
+    def acquire(self, owner: Optional[object] = None,
+                timeout: Optional[int] = None) -> Event:
+        ev = super().acquire(timeout=timeout)
         if ev.triggered:
-            self.owner = owner
+            if ev.ok:
+                self.owner = owner
         else:
-            ev.add_callback(lambda _e: setattr(self, "owner", owner))
+            def on_grant(e: Event) -> None:
+                if e.ok:  # a WaitTimeout failure never took the lock
+                    self.owner = owner
+            ev.add_callback(on_grant)
         return ev
 
     def release(self) -> None:
@@ -116,24 +176,27 @@ class Store:
 
     @property
     def waiting_getters(self) -> int:
-        """Number of processes blocked in ``get``."""
-        return len(self._getters)
+        """Number of processes blocked in ``get`` (live waiters only)."""
+        return sum(1 for g in self._getters if not g.cancelled)
 
     def put(self, item: Any) -> None:
-        """Deposit an item, waking the oldest blocked getter."""
+        """Deposit an item, waking the oldest live blocked getter."""
+        while self._getters and self._getters[0].cancelled:
+            self._getters.popleft()
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
-    def get(self) -> Event:
-        """Event that fires with the next item."""
+    def get(self, timeout: Optional[int] = None) -> Event:
+        """Event that fires with the next item (or fails with
+        :class:`WaitTimeout` after ``timeout`` ns)."""
         ev = self.engine.event()
         if self._items:
             ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
-        return ev
+        return _timed(self.engine, ev, timeout, "Store.get")
 
     def try_get(self) -> Any:
         """Pop an item immediately, or return None when empty."""
@@ -157,19 +220,23 @@ class Gate:
     def is_open(self) -> bool:
         return self._open
 
-    def wait(self) -> Event:
+    @property
+    def waiting(self) -> int:
+        """Number of processes blocked in ``wait`` (live waiters only)."""
+        return sum(1 for w in self._waiters if not w.cancelled)
+
+    def wait(self, timeout: Optional[int] = None) -> Event:
         ev = self.engine.event()
         if self._open:
             ev.succeed()
         else:
             self._waiters.append(ev)
-        return ev
+        return _timed(self.engine, ev, timeout, "Gate.wait")
 
     def open(self) -> None:
         """Open the gate, releasing all waiters."""
         self._open = True
-        while self._waiters:
-            self._waiters.popleft().succeed()
+        self._release_all()
 
     def close(self) -> None:
         """Close the gate; later waiters block until the next open()."""
@@ -177,8 +244,13 @@ class Gate:
 
     def pulse(self) -> None:
         """Release current waiters without leaving the gate open."""
+        self._release_all()
+
+    def _release_all(self) -> None:
         while self._waiters:
-            self._waiters.popleft().succeed()
+            w = self._waiters.popleft()
+            if not w.cancelled:
+                w.succeed()
 
 
 class Channel:
@@ -205,9 +277,15 @@ class Channel:
     def full(self) -> bool:
         return len(self._items) >= self.capacity
 
-    def put(self, item: Any) -> Event:
-        """Event firing once the item has been accepted."""
+    def put(self, item: Any, timeout: Optional[int] = None) -> Event:
+        """Event firing once the item has been accepted.
+
+        A timed-out put cancels its queued slot: the item is *not*
+        delivered later.
+        """
         ev = self.engine.event()
+        while self._getters and self._getters[0].cancelled:
+            self._getters.popleft()
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed()
@@ -216,20 +294,27 @@ class Channel:
             ev.succeed()
         else:
             self._putters.append((ev, item))
-        return ev
+        return _timed(self.engine, ev, timeout, "Channel.put")
 
-    def get(self) -> Event:
+    def get(self, timeout: Optional[int] = None) -> Event:
         """Event firing with the next item."""
         ev = self.engine.event()
         if self._items:
             ev.succeed(self._items.popleft())
-            if self._putters:
-                put_ev, item = self._putters.popleft()
-                self._items.append(item)
-                put_ev.succeed()
+            self._admit_putter()
         else:
             self._getters.append(ev)
-        return ev
+        return _timed(self.engine, ev, timeout, "Channel.get")
+
+    def _admit_putter(self) -> None:
+        """Move the oldest live blocked putter's item into the queue."""
+        while self._putters:
+            put_ev, item = self._putters.popleft()
+            if put_ev.cancelled:
+                continue  # timed-out put: the item was never accepted
+            self._items.append(item)
+            put_ev.succeed()
+            return
 
     def drain(self) -> list:
         """Remove and return every queued item, in queue order.
@@ -239,11 +324,14 @@ class Channel:
         point of view the item *was* accepted, it just never reached a
         consumer.  Models a hardware ring being torn down by a channel
         reset: the stranded descriptors are handed back to software.
+        Timed-out putters are skipped: their items were never accepted.
         """
         items = list(self._items)
         self._items.clear()
         while self._putters:
             put_ev, item = self._putters.popleft()
+            if put_ev.cancelled:
+                continue
             items.append(item)
             put_ev.succeed()
         return items
@@ -275,27 +363,35 @@ class RWLock:
 
     @property
     def queued(self) -> int:
-        return len(self._waiters)
+        return sum(1 for ev, _w in self._waiters if not ev.cancelled)
 
-    def acquire_read(self) -> Event:
+    def _purge_cancelled_head(self) -> None:
+        while self._waiters and self._waiters[0][0].cancelled:
+            self._waiters.popleft()
+
+    def acquire_read(self, timeout: Optional[int] = None) -> Event:
         """Event firing once shared access is granted."""
+        self._purge_cancelled_head()
         ev = self.engine.event()
-        if not self._writer and not self._waiters:
+        if not self._writer and not self.queued:
             self._readers += 1
             ev.succeed()
         else:
             self._waiters.append((ev, False))
-        return ev
+        return _timed(self.engine, ev, timeout,
+                      f"{self.name}.acquire_read", on_timeout=self._grant)
 
-    def acquire_write(self) -> Event:
+    def acquire_write(self, timeout: Optional[int] = None) -> Event:
         """Event firing once exclusive access is granted."""
+        self._purge_cancelled_head()
         ev = self.engine.event()
-        if not self._writer and self._readers == 0 and not self._waiters:
+        if not self._writer and self._readers == 0 and not self.queued:
             self._writer = True
             ev.succeed()
         else:
             self._waiters.append((ev, True))
-        return ev
+        return _timed(self.engine, ev, timeout,
+                      f"{self.name}.acquire_write", on_timeout=self._grant)
 
     def release_read(self) -> None:
         if self._readers <= 0:
@@ -312,6 +408,9 @@ class RWLock:
     def _grant(self) -> None:
         while self._waiters:
             ev, is_writer = self._waiters[0]
+            if ev.cancelled:
+                self._waiters.popleft()
+                continue
             if is_writer:
                 if self._readers == 0 and not self._writer:
                     self._waiters.popleft()
@@ -336,15 +435,26 @@ class Barrier:
         self._arrived = 0
         self._waiters: Deque[Event] = deque()
 
-    def wait(self) -> Event:
-        """Event that fires once all parties have arrived."""
+    def wait(self, timeout: Optional[int] = None) -> Event:
+        """Event that fires once all parties have arrived.
+
+        A timed-out party withdraws its arrival: the barrier then needs
+        that many fresh arrivals again.
+        """
         ev = self.engine.event()
         self._arrived += 1
         if self._arrived >= self.parties:
             self._arrived = 0
             while self._waiters:
-                self._waiters.popleft().succeed()
+                w = self._waiters.popleft()
+                if not w.cancelled:
+                    w.succeed()
             ev.succeed()
-        else:
-            self._waiters.append(ev)
-        return ev
+            return ev
+        self._waiters.append(ev)
+
+        def withdraw() -> None:
+            self._arrived -= 1
+
+        return _timed(self.engine, ev, timeout, "Barrier.wait",
+                      on_timeout=withdraw)

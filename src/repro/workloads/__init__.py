@@ -8,6 +8,9 @@
 * :mod:`repro.workloads.apps` -- the eight real-world applications of
   Table 1 / Figure 10, plus the Poisson web server + GC colocation of
   Figures 4 and 12.
+* :mod:`repro.workloads.overload` -- open-loop Poisson arrivals with
+  per-request deadlines, driving the admission-control / watchdog
+  robustness experiment.
 """
 
 from repro.workloads.factory import FS_KINDS, make_fs, make_platform, max_workers
@@ -17,14 +20,18 @@ from repro.workloads.fxmark import (
     measure_single_op,
     run_fxmark,
 )
+from repro.workloads.overload import OverloadConfig, OverloadResult, run_overload
 
 __all__ = [
     "FS_KINDS",
     "FxmarkConfig",
     "FxmarkResult",
+    "OverloadConfig",
+    "OverloadResult",
     "make_fs",
     "make_platform",
     "max_workers",
     "measure_single_op",
     "run_fxmark",
+    "run_overload",
 ]

@@ -207,3 +207,52 @@ class TestAccounting:
         node.run()
         busy = node.cores[0].busy_ns()
         assert busy < 10_000, f"core busy {busy}ns during a pure sleep"
+
+
+class TestIdleWakeup:
+    def test_spawn_wakes_drained_scheduler(self, node):
+        # Lost-wakeup regression for the scheduler's Gate.pulse() idle
+        # loop: after the run queue drains and the scheduler parks on
+        # its wake gate, a fresh spawn's pulse must still reach it.
+        rt = Runtime(node, cores=node.cores[:1])
+        def w(out):
+            yield Compute(100)
+            out.append(node.now)
+        first, second = [], []
+        rt.spawn(w(first))
+        node.run()
+        assert first, "first uthread never ran"
+        rt.spawn(w(second))
+        node.run()
+        assert second, "lost wakeup: parked scheduler missed the pulse"
+
+    def test_pulse_survives_many_drain_cycles(self, node):
+        rt = Runtime(node, cores=node.cores[:2])
+        done = []
+        for cycle in range(5):
+            def w(c=cycle):
+                yield Compute(10)
+                done.append(c)
+            rt.spawn(w(), core=cycle % 2)
+            node.run()
+        assert done == [0, 1, 2, 3, 4]
+
+
+class TestWatchdogRuntime:
+    def test_work_stealing_with_watchdog_active(self, node):
+        # The watchdog's scan timers must not perturb scheduling: an
+        # idle core still steals, every uthread finishes, nothing trips.
+        from repro.runtime import Watchdog
+        rt = Runtime(node, cores=node.cores[:2], steal=True)
+        wd = Watchdog(rt, default_budget_ns=50_000_000)
+        ran_on = []
+        def worker(i):
+            yield Compute(5_000)
+            ran_on.append(i)
+        for i in range(6):
+            rt.spawn(worker(i), core=0)
+        node.run()
+        assert len(ran_on) == 6
+        assert rt.schedulers[1].steals > 0
+        assert rt.overload_stats.watchdog_trips == 0
+        assert not wd.reports

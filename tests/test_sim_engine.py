@@ -241,3 +241,62 @@ class TestDeterminism:
         run_proc(engine, body())
         with pytest.raises(SimulationError):
             engine.call_at(50, lambda: None)
+
+
+class TestCancellation:
+    def test_cancel_pending_event(self, engine):
+        ev = engine.event()
+        assert ev.cancel()
+        assert ev.cancelled and not ev.triggered
+
+    def test_cancel_is_idempotent(self, engine):
+        ev = engine.event()
+        assert ev.cancel()
+        assert not ev.cancel()
+
+    def test_cancel_processed_event_rejected(self, engine):
+        ev = engine.event()
+        ev.succeed()
+        engine.run()
+        with pytest.raises(SimulationError):
+            ev.cancel()
+
+    def test_cancelled_event_ignores_callbacks(self, engine):
+        ev = engine.event()
+        ev.cancel()
+        fired = []
+        ev.add_callback(lambda e: fired.append(e))  # silently dropped
+        with pytest.raises(SimulationError):
+            ev.succeed()  # a cancelled event is dead: late trigger rejected
+        assert fired == []
+
+    def test_cancelled_timer_does_not_advance_clock(self, engine):
+        # The scheduled entry stays in the heap but must be skipped
+        # without moving time forward -- otherwise a cancelled timeout
+        # would still stretch the simulation.
+        long_timer = engine.timeout(10_000)
+        engine.timeout(5)
+        long_timer.cancel()
+        engine.run()
+        assert engine.now == 5
+
+    def test_any_of_detaches_from_losers(self, engine):
+        fast = engine.timeout(10)
+        slow = engine.event()
+        def body():
+            yield engine.any_of([fast, slow])
+        run_proc(engine, body())
+        # The race is decided: the loser must not retain the composite's
+        # callback (that is the waiter leak this guards against).
+        assert not slow.callbacks
+        assert not slow.cancelled  # shared events are left alive
+
+    def test_any_of_cancel_losers(self, engine):
+        fast = engine.timeout(10)
+        slow = engine.timeout(10_000)
+        def body():
+            yield engine.any_of([fast, slow], cancel_losers=True)
+        run_proc(engine, body())
+        assert slow.cancelled
+        engine.run()
+        assert engine.now == 10  # the losing timer never fires

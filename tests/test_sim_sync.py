@@ -11,6 +11,7 @@ from repro.sim import (
     Semaphore,
     SimulationError,
     Store,
+    WaitTimeout,
 )
 from tests.conftest import run_proc
 
@@ -286,3 +287,204 @@ class TestBarrier:
         engine.process(party(1))
         engine.run()
         assert len(laps) == 6
+
+
+class TestTimedWaits:
+    """timeout= on every blocking primitive: WaitTimeout fires, and --
+    the regression these tests exist for -- the expired waiter must not
+    linger in the primitive's queue and absorb a later grant."""
+
+    def test_semaphore_timeout_and_no_leak(self, engine):
+        sem = Semaphore(engine, 1)
+        got = []
+        def holder():
+            yield sem.acquire()
+            yield engine.timeout(100)
+            sem.release()
+        def impatient():
+            with pytest.raises(WaitTimeout):
+                yield sem.acquire(timeout=10)
+            got.append(("timeout", engine.now))
+        def patient():
+            yield sem.acquire()
+            got.append(("acquired", engine.now))
+            sem.release()
+        engine.process(holder())
+        engine.process(impatient())
+        engine.process(patient())
+        engine.run()
+        # The release at t=100 must reach `patient`, not the expired
+        # waiter; afterwards the full capacity is back.
+        assert got == [("timeout", 10), ("acquired", 100)]
+        assert sem.available == 1
+        assert sem.queued == 0
+
+    def test_semaphore_timeout_unneeded_when_granted_first(self, engine):
+        sem = Semaphore(engine, 1)
+        def body():
+            yield sem.acquire(timeout=50)
+            yield engine.timeout(200)  # well past the timeout
+            sem.release()
+        run_proc(engine, body())
+        assert sem.available == 1
+
+    def test_lock_timeout_and_no_leak(self, engine):
+        lock = Lock(engine)
+        order = []
+        def holder():
+            yield lock.acquire(owner="holder")
+            yield engine.timeout(100)
+            lock.release()
+        def impatient():
+            with pytest.raises(WaitTimeout):
+                yield lock.acquire(owner="impatient", timeout=10)
+            order.append("timeout")
+        def patient():
+            yield lock.acquire(owner="patient")
+            order.append("locked")
+            assert lock.owner == "patient"
+            lock.release()
+        engine.process(holder())
+        engine.process(impatient())
+        engine.process(patient())
+        engine.run()
+        assert order == ["timeout", "locked"]
+        assert not lock.locked
+
+    def test_rwlock_write_timeout_does_not_block_readers(self, engine):
+        rw = RWLock(engine)
+        got = []
+        def reader0():
+            yield rw.acquire_read()
+            yield engine.timeout(100)
+            rw.release_read()
+        def writer():
+            with pytest.raises(WaitTimeout):
+                yield rw.acquire_write(timeout=10)
+            got.append(("wtimeout", engine.now))
+        def reader1():
+            # Arrives behind the queued writer; once the writer expires
+            # it must share the read lock immediately (no phantom writer
+            # parked at the queue head).
+            yield engine.timeout(20)
+            yield rw.acquire_read(timeout=5)
+            got.append(("read", engine.now))
+            rw.release_read()
+        engine.process(reader0())
+        engine.process(writer())
+        engine.process(reader1())
+        engine.run()
+        assert got == [("wtimeout", 10), ("read", 20)]
+        assert rw.reader_count == 0 and not rw.held_exclusive
+        assert rw.queued == 0
+
+    def test_rwlock_read_timeout_behind_writer(self, engine):
+        rw = RWLock(engine)
+        def writer():
+            yield rw.acquire_write()
+            yield engine.timeout(100)
+            rw.release_write()
+        def reader():
+            with pytest.raises(WaitTimeout):
+                yield rw.acquire_read(timeout=10)
+        engine.process(writer())
+        engine.process(reader())
+        engine.run()
+        assert rw.queued == 0 and not rw.held_exclusive
+
+    def test_store_get_timeout_and_no_leak(self, engine):
+        store = Store(engine)
+        got = []
+        def impatient():
+            with pytest.raises(WaitTimeout):
+                yield store.get(timeout=10)
+        def patient():
+            item = yield store.get()
+            got.append(item)
+        def producer():
+            yield engine.timeout(50)
+            store.put("x")
+        engine.process(impatient())
+        engine.process(patient())
+        engine.process(producer())
+        engine.run()
+        # The item must reach the live getter, not the expired one.
+        assert got == ["x"]
+        assert store.waiting_getters == 0
+        assert len(store) == 0
+
+    def test_gate_wait_timeout_and_no_leak(self, engine):
+        gate = Gate(engine)
+        woke = []
+        def impatient():
+            with pytest.raises(WaitTimeout):
+                yield gate.wait(timeout=10)
+        def patient():
+            yield gate.wait()
+            woke.append(engine.now)
+        def opener():
+            yield engine.timeout(50)
+            gate.pulse()
+        engine.process(impatient())
+        engine.process(patient())
+        engine.process(opener())
+        engine.run()
+        assert woke == [50]
+        assert gate.waiting == 0
+
+    def test_channel_get_timeout_and_no_leak(self, engine):
+        chan = Channel(engine, capacity=2)
+        got = []
+        def impatient():
+            with pytest.raises(WaitTimeout):
+                yield chan.get(timeout=10)
+        def patient():
+            item = yield chan.get()
+            got.append(item)
+        def producer():
+            yield engine.timeout(50)
+            yield chan.put("y")
+        engine.process(impatient())
+        engine.process(patient())
+        engine.process(producer())
+        engine.run()
+        assert got == ["y"]
+        assert len(chan) == 0
+
+    def test_channel_put_timeout_item_never_accepted(self, engine):
+        chan = Channel(engine, capacity=1)
+        def filler():
+            yield chan.put("keep")
+        def impatient():
+            with pytest.raises(WaitTimeout):
+                yield chan.put("lost", timeout=10)
+        def consumer():
+            yield engine.timeout(50)
+            first = yield chan.get()
+            assert first == "keep"
+            # The timed-out putter's item must never surface.
+            with pytest.raises(WaitTimeout):
+                yield chan.get(timeout=10)
+        engine.process(filler())
+        engine.process(impatient())
+        engine.process(consumer())
+        engine.run()
+        assert len(chan) == 0 and chan.drain() == []
+
+    def test_barrier_timeout_withdraws_arrival(self, engine):
+        barrier = Barrier(engine, 2)
+        tripped = []
+        def impatient():
+            with pytest.raises(WaitTimeout):
+                yield barrier.wait(timeout=10)
+        def pair(delay):
+            yield engine.timeout(delay)
+            yield barrier.wait()
+            tripped.append(engine.now)
+        engine.process(impatient())
+        # Two later parties must trip the barrier alone: the expired
+        # arrival withdrew and does not count toward the quorum.
+        engine.process(pair(20))
+        engine.process(pair(30))
+        engine.run()
+        assert tripped == [30, 30]
