@@ -13,9 +13,8 @@ from benchmarks.conftest import run_once, show
 from repro.analysis.report import banner, fmt_table
 from repro.crash import CRASH_WORKLOADS, run_crash_test
 from repro.faults import ChannelHaltFault, FaultPlan, TransferErrorFault
-from repro.fs.pmimage import PMImage
-from repro.core.easyio import EasyIoFS
 from repro.hw.platform import Platform, PlatformConfig
+from repro.workloads.factory import make_fs
 
 CRASH_POINTS = 1000
 FILES = 4
@@ -33,8 +32,7 @@ def _run_workload(plan_kwargs, fault_tolerant=None, stop_cm=False):
     Returns (fs, plan, makespan_ns, completed_ops).
     """
     platform = Platform(PlatformConfig.single_node())
-    fs = EasyIoFS(platform, PMImage(), fault_tolerant=fault_tolerant)
-    fs.mount()
+    fs = make_fs("easyio", platform, fault_tolerant=fault_tolerant)
     plan = FaultPlan(**plan_kwargs)
     plan.install(platform, image=fs.image)
     completed = []

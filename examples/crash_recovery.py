@@ -18,14 +18,14 @@ This example:
 Run:  python examples/crash_recovery.py
 """
 
-from repro import EasyIoFS, Platform, PMImage, recover
+from repro import Platform, fs_class, make_fs, recover
 from repro.fs.recovery import completion_buffer_validator
 
 GEN1 = b"\x11" * 65536
 GEN2 = b"\x22" * 65536
 
 platform = Platform()
-fs = EasyIoFS(platform, PMImage(record=True)).mount()
+fs = make_fs("easyio", platform, record=True)
 engine = platform.engine
 crash_point = {}
 
@@ -60,7 +60,9 @@ print(f"\nsimulating power failure at persist #{crash_point['at']} "
       f"of {fs.image.crash_points()}")
 
 recovered_platform = Platform()
-recovered = EasyIoFS(recovered_platform, crashed_image)
+# Resolve through the registry; construct without mounting (recovery
+# rebuilds the volatile state from the crashed image instead).
+recovered = fs_class("easyio")(recovered_platform, crashed_image)
 recover(recovered, completion_buffer_validator(crashed_image))
 print(f"recovery discarded {recovered.recovered_discarded_entries} "
       f"committed-but-unfinished log entr"

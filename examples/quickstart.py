@@ -13,10 +13,10 @@ Shows the core mechanics of the paper in ~60 lines:
 Run:  python examples/quickstart.py
 """
 
-from repro import EasyIoFS, Platform
+from repro import Platform, make_fs
 
 platform = Platform()                 # the paper's 36-core, 6-DIMM testbed
-fs = EasyIoFS(platform).mount()
+fs = make_fs("easyio", platform)      # resolved through the fs registry
 engine = platform.engine
 
 

@@ -36,6 +36,8 @@ from repro.fs import (DeadlineExceeded, FsError, NovaFS, OpResult, PMImage,
                       recover)
 from repro.hw import CostModel, Platform, PlatformConfig
 from repro.runtime import Compute, Runtime, Sleep, Syscall, Yield
+from repro.workloads.factory import (FS_KINDS, FS_LABELS, fs_class, make_fs,
+                                     make_platform, register_fs)
 
 __version__ = "1.0.0"
 
@@ -46,6 +48,8 @@ __all__ = [
     "CostModel",
     "DeadlineExceeded",
     "EasyIoFS",
+    "FS_KINDS",
+    "FS_LABELS",
     "FsError",
     "NaiveAsyncFS",
     "NovaDmaFS",
@@ -59,5 +63,9 @@ __all__ = [
     "Sleep",
     "Syscall",
     "Yield",
+    "fs_class",
+    "make_fs",
+    "make_platform",
     "recover",
+    "register_fs",
 ]

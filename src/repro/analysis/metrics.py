@@ -87,9 +87,20 @@ class LatencySeries:
     def __init__(self, name: str = "latency"):
         self.name = name
         self.samples: List[int] = []
+        # Sorted view, computed lazily and invalidated on append, so
+        # interleaved record()/percentile() calls don't re-sort the
+        # whole series on every query.
+        self._sorted: Optional[List[int]] = None
 
     def record(self, ns: int) -> None:
         self.samples.append(ns)
+        self._sorted = None
+
+    def _sorted_samples(self) -> List[int]:
+        # Length check catches direct appends to the public `samples`.
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -108,7 +119,7 @@ class LatencySeries:
             return 0.0
         if not 0 < p <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
-        data = sorted(self.samples)
+        data = self._sorted_samples()
         k = (len(data) - 1) * (p / 100.0)
         lo = math.floor(k)
         hi = math.ceil(k)

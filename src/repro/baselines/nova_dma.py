@@ -10,16 +10,18 @@ write-efficiency of a single channel.
 NOVA-DMA spreads requests across **all** channels (the paper calls
 this out as the reason its write throughput collapses under high
 concurrency -- the §2.2 multi-channel penalty bites).
+
+As a pipeline composition: the same strictly ordered
+Sync{Write,Read}Pipeline as NOVA, with the copy backend swapped for
+:class:`~repro.io.backends.DmaPollBackend` (busy-poll completion).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.fs.nova import NovaFS, OpContext, OpResult
+from repro.fs.nova import NovaFS
 from repro.fs.pmimage import PMImage
-from repro.fs.structures import PAGE_SIZE, MemInode
-from repro.hw.dma import DmaDescriptor
 from repro.hw.platform import Platform
 
 
@@ -38,77 +40,22 @@ class NovaDmaFS(NovaFS):
         self.dma_reads = 0
         self.memcpy_ops = 0
 
-    def _pick_channel(self):
-        """Least-loaded across *all* channels (no traffic separation)."""
-        return self.platform.dma.least_loaded()
-
-    def _busy_wait(self, ctx: OpContext, descs: List[DmaDescriptor]):
-        """Poll the completion buffer; the core burns CPU throughout."""
-        for desc in descs:
-            if not desc.done.triggered:
-                t0 = self.engine.now
-                yield desc.done
-                elapsed = self.engine.now - t0
-                if ctx.record:
-                    ctx.breakdown["memcpy"] += elapsed
-                ctx.cpu_ns += elapsed
-
-    # ------------------------------------------------------------------
-    # Write path: submit, busy-poll, then commit (strictly ordered)
-    # ------------------------------------------------------------------
-    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
-                      nbytes: int, payload: Optional[bytes]):
-        try:
-            yield from self._charge_lock_contention(ctx)
-            prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
-            if nbytes <= self.OFFLOAD_THRESHOLD:
-                self.memcpy_ops += 1
-                for run_bytes in prep.run_sizes:
-                    yield from ctx.timed_cpu(
-                        "memcpy", self.memory.cpu_copy(run_bytes, write=True,
-                                                       tag=("w", m.ino)))
-                self._persist_pages(prep)
-            else:
-                self.dma_writes += 1
-                channel = self._pick_channel()
-                descs = [DmaDescriptor(run_bytes, write=True, tag=("w", m.ino))
-                         for run_bytes in prep.run_sizes]
-                for i in range(0, len(descs), self.model.dma_batch_max):
-                    yield from ctx.timed_cpu(
-                        "memcpy",
-                        channel.submit(descs[i:i + self.model.dma_batch_max]))
-                yield from self._busy_wait(ctx, descs)
-                self._persist_pages(prep)
-            yield from self._commit_write(ctx, m, prep, sns=())
-        finally:
-            m.lock.release_write()
-        return OpResult(value=nbytes, ctx=ctx)
-
-    # ------------------------------------------------------------------
-    # Read path: DMA for every extent above the threshold
-    # ------------------------------------------------------------------
-    def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
-                      nbytes: int, runs, want_data: bool):
-        try:
-            for _off, pages in runs:
-                if not pages:
-                    continue
-                run_bytes = len(pages) * PAGE_SIZE
-                if run_bytes <= self.OFFLOAD_THRESHOLD:
-                    self.memcpy_ops += 1
-                    yield from ctx.timed_cpu(
-                        "memcpy", self.memory.cpu_copy(run_bytes, write=False,
-                                                       tag=("r", m.ino)))
-                else:
-                    self.dma_reads += 1
-                    channel = self._pick_channel()
-                    desc = DmaDescriptor(run_bytes, write=False,
-                                         tag=("r", m.ino))
-                    yield from ctx.timed_cpu("memcpy", channel.submit([desc]))
-                    yield from self._busy_wait(ctx, [desc])
-            yield from ctx.charge("metadata", self.model.timestamp_update_cost)
-            value = (self._collect_data(m, offset, nbytes)
-                     if want_data else nbytes)
-        finally:
-            m.lock.release_read()
-        return OpResult(value=value, ctx=ctx)
+    def _build_pipeline(self):
+        from repro.io import (
+            BusyPollCompletion,
+            DmaPollBackend,
+            IoPipeline,
+            IoPlanner,
+            OpCounters,
+            PagePersister,
+            SyncReadPipeline,
+            SyncWritePipeline,
+        )
+        planner = IoPlanner(self)
+        backend = DmaPollBackend(self.platform.dma, self.model, self.memory,
+                                 PagePersister(self.image),
+                                 BusyPollCompletion(), OpCounters(self),
+                                 offload_threshold=self.OFFLOAD_THRESHOLD)
+        return IoPipeline(write=SyncWritePipeline(self, planner, backend),
+                          read=SyncReadPipeline(self, planner, backend),
+                          planner=planner)

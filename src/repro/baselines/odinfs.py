@@ -14,51 +14,22 @@ The application thread *sleeps* while delegation threads copy -- that
 looks similar to EasyIO's offload, but the interface is synchronous:
 the thread cannot run other work, so the saved cycles only help
 whole-machine utilisation, not the application's own throughput.
+
+As a pipeline composition: the strictly ordered Sync{Write,Read}
+pipelines over :class:`~repro.io.backends.DelegationBackend` with
+park-and-wake completion.  The backend owns the delegation threads,
+so the pipeline is built eagerly at construction time (the threads'
+processes must exist before the simulation starts).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.fs.nova import NovaFS, OpContext, OpResult
+from repro.fs.nova import NovaFS
 from repro.fs.pmimage import PMImage
-from repro.fs.structures import PAGE_SIZE, MemInode
 from repro.hw.cpu import Core
 from repro.hw.platform import Platform
-from repro.sim import Store
-
-
-class _DelegationRequest:
-    __slots__ = ("nbytes", "write", "done", "tag")
-
-    def __init__(self, engine, nbytes: int, write: bool, tag):
-        self.nbytes = nbytes
-        self.write = write
-        self.tag = tag
-        self.done = engine.event()
-
-
-class _DelegationThread:
-    """One background thread pinned to a reserved core."""
-
-    def __init__(self, fs: "OdinfsFS", core: Core):
-        self.fs = fs
-        self.core = core
-        self.queue = Store(fs.engine)
-        self.bytes_moved = 0
-        fs.engine.process(self._loop(), name=f"odinfs-dg{core.core_id}")
-
-    def _loop(self):
-        while True:
-            req = yield self.queue.get()
-            self.core.mark_busy("odinfs-delegation")
-            try:
-                yield from self.fs.memory.delegated_copy(
-                    req.nbytes, write=req.write, tag=req.tag)
-            finally:
-                self.core.mark_idle()
-            self.bytes_moved += req.nbytes
-            req.done.succeed()
 
 
 class OdinfsFS(NovaFS):
@@ -77,66 +48,40 @@ class OdinfsFS(NovaFS):
         if not delegation_cores:
             raise ValueError("Odinfs needs at least one delegation core")
         self.delegation_cores = delegation_cores
-        self.threads = [_DelegationThread(self, core)
-                        for core in delegation_cores]
-        self._rr = 0
-        self.requests_delegated = 0
+        self._io = self._build_pipeline()
 
     @property
     def reserved_cores(self) -> int:
         return len(self.delegation_cores)
 
-    # ------------------------------------------------------------------
-    # Delegated copy: split, fan out round-robin, wait for all chunks
-    # ------------------------------------------------------------------
-    def _delegate(self, ctx: OpContext, nbytes: int, write: bool, tag):
-        chunk = self.model.delegation_chunk
-        sizes = [chunk] * (nbytes // chunk)
-        if nbytes % chunk:
-            sizes.append(nbytes % chunk)
-        events = []
-        for size in sizes:
-            # Dispatch costs the app thread a ring enqueue per chunk.
-            yield from ctx.charge("memcpy", self.model.delegation_dispatch_cost)
-            thread = self.threads[self._rr % len(self.threads)]
-            self._rr += 1
-            req = _DelegationRequest(self.engine, size, write, tag)
-            thread.queue.put(req)
-            events.append(req.done)
-            self.requests_delegated += 1
-        # The app thread sleeps until every chunk lands (synchronous
-        # interface; the kernel wakeup is not free).
-        t0 = self.engine.now
-        yield from ctx.idle_wait(self.engine.all_of(events))
-        yield from ctx.charge("syscall", self.model.kernel_wakeup_cost)
-        if ctx.record:
-            ctx.breakdown["wait"] += self.engine.now - t0
+    @property
+    def _backend(self):
+        return self._io.write.backend
 
-    # ------------------------------------------------------------------
-    # Data paths
-    # ------------------------------------------------------------------
-    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
-                      nbytes: int, payload: Optional[bytes]):
-        try:
-            yield from self._charge_lock_contention(ctx)
-            prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
-            yield from self._delegate(ctx, nbytes, write=True, tag=("w", m.ino))
-            self._persist_pages(prep)
-            yield from self._commit_write(ctx, m, prep, sns=())
-        finally:
-            m.lock.release_write()
-        return OpResult(value=nbytes, ctx=ctx)
+    @property
+    def threads(self):
+        """The backend's delegation threads (one per reserved core)."""
+        return self._backend.threads
 
-    def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
-                      nbytes: int, runs, want_data: bool):
-        try:
-            total = sum(len(pages) * PAGE_SIZE for _off, pages in runs if pages)
-            if total:
-                yield from self._delegate(ctx, total, write=False,
-                                          tag=("r", m.ino))
-            yield from ctx.charge("metadata", self.model.timestamp_update_cost)
-            value = (self._collect_data(m, offset, nbytes)
-                     if want_data else nbytes)
-        finally:
-            m.lock.release_read()
-        return OpResult(value=value, ctx=ctx)
+    @property
+    def requests_delegated(self) -> int:
+        return self._backend.requests_delegated
+
+    def _build_pipeline(self):
+        from repro.io import (
+            DelegationBackend,
+            IoPipeline,
+            IoPlanner,
+            PagePersister,
+            ParkAndWakeCompletion,
+            SyncReadPipeline,
+            SyncWritePipeline,
+        )
+        planner = IoPlanner(self)
+        backend = DelegationBackend(self.engine, self.model, self.memory,
+                                    self.delegation_cores,
+                                    PagePersister(self.image),
+                                    ParkAndWakeCompletion(self.model))
+        return IoPipeline(write=SyncWritePipeline(self, planner, backend),
+                          read=SyncReadPipeline(self, planner, backend),
+                          planner=planner)

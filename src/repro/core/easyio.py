@@ -19,55 +19,57 @@ mirrors the paper's <50-line NOVA patch:
 
 Fault tolerance (active when a :class:`~repro.faults.FaultPlan` is
 installed, or forced via ``fault_tolerant=True``): every offloaded
-operation gets a *supervisor* process that watches its descriptors.
-Failed descriptors are retried with bounded exponential backoff
-(sim-time); descriptors lost to a channel halt fail over to a healthy
-channel; when no healthy channel remains the supervisor degrades to
-the memcpy path.  SN-safety: failed/stranded SNs are persisted as
-poisoned *before* any later completion can cover them (the hardware
-reports them through ``on_error``/``on_reset`` first), and after a
-failover the committed log entry's SN field is amended to the new
-(channel, sn) pairs -- so the recovery validator stays sound at every
-crash point inside the retry/failover window.
+operation gets a *supervisor* process
+(:class:`~repro.io.supervision.FaultSupervisor`) that watches its
+descriptors -- retry with bounded backoff, failover to a healthy
+channel, graceful degradation to memcpy.  SN-safety: failed/stranded
+SNs are persisted as poisoned *before* any later completion can cover
+them (the hardware reports them through ``on_error``/``on_reset``
+first), and after a failover the committed log entry's SN field is
+amended to the new (channel, sn) pairs -- so the recovery validator
+stays sound at every crash point inside the retry/failover window.
+
+As a pipeline composition (see :mod:`repro.io`): EasyIO is the
+:class:`~repro.io.pipeline.OrderlessWritePipeline` and
+:class:`~repro.io.pipeline.AsyncReadPipeline` over
+:class:`~repro.io.backends.DmaAsyncBackend`, with batched-pending
+completion, a level-2 gate, deadline/admission middleware, and fault
+supervision.
 
 :class:`NaiveAsyncFS` is the §6.4 ablation: asynchronous DMA offload
 *without* orderless operation or two-level locking -- data and metadata
-strictly ordered into two syscalls, the file lock held across the gap.
+strictly ordered into two syscalls, the file lock held across the gap
+(:class:`~repro.io.pipeline.OrderedAsyncWritePipeline`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.analysis.metrics import OverloadStats
-from repro.core.channel_manager import AppProfile, ChannelManager
-from repro.fs.nova import NovaFS, OpContext, OpResult
-from repro.fs.pmimage import ELIDED, PMImage
-from repro.fs.structures import PAGE_SIZE, MemInode
-from repro.hw.dma import DmaChannel, DmaDescriptor
+from repro.core.channel_manager import ChannelManager
+from repro.fs.nova import NovaFS, OpContext
+from repro.fs.pmimage import PMImage
+from repro.fs.structures import MemInode
+from repro.hw.dma import DmaChannel
 from repro.hw.platform import Platform
-
-
-class _DmaJob:
-    """One descriptor's worth of an offloaded operation, retryable.
-
-    ``final`` is None while unresolved, the achieved ``(channel, sn)``
-    pair once its data landed via DMA, or ``()`` when the job was
-    degraded to the memcpy path (contributing no SN).
-    """
-
-    __slots__ = ("desc", "channel", "nbytes", "write", "pids", "contents",
-                 "final")
-
-    def __init__(self, desc: DmaDescriptor, channel: DmaChannel,
-                 write: bool, pids=None, contents=None):
-        self.desc = desc
-        self.channel = channel
-        self.nbytes = desc.nbytes
-        self.write = write
-        self.pids = pids
-        self.contents = contents
-        self.final = None
+from repro.io import (
+    AdmissionControl,
+    AsyncReadPipeline,
+    BatchedPendingCompletion,
+    DeadlineGate,
+    DmaAsyncBackend,
+    FaultSupervisor,
+    IoPipeline,
+    IoPlanner,
+    Level2Gate,
+    MemcpyBackend,
+    OpCounters,
+    OrderedAsyncWritePipeline,
+    OrderlessWritePipeline,
+    SupervisionPolicy,
+    VerifyingPagePersister,
+)
 
 
 class EasyIoFS(NovaFS):
@@ -76,12 +78,13 @@ class EasyIoFS(NovaFS):
 
     name = "EasyIO"
 
-    #: Bounded exponential backoff for descriptor retries (sim-time).
-    DMA_RETRY_MAX = 4
-    DMA_RETRY_BASE_NS = 2_000
-    DMA_RETRY_CAP_NS = 64_000
+    #: Bounded exponential backoff for descriptor retries (sim-time);
+    #: mirrored from the fault supervisor for API stability.
+    DMA_RETRY_MAX = FaultSupervisor.DMA_RETRY_MAX
+    DMA_RETRY_BASE_NS = FaultSupervisor.DMA_RETRY_BASE_NS
+    DMA_RETRY_CAP_NS = FaultSupervisor.DMA_RETRY_CAP_NS
     #: Give up on a page after this many checksum-verify rewrites.
-    MEDIA_REWRITE_MAX = 8
+    MEDIA_REWRITE_MAX = VerifyingPagePersister.MEDIA_REWRITE_MAX
     #: Below this much remaining deadline budget the async path is not
     #: worth the completion-wait risk: stay on the memcpy path.
     DEADLINE_MIN_ASYNC_NS = 10_000
@@ -102,7 +105,6 @@ class EasyIoFS(NovaFS):
         #: None = auto: supervise offloaded ops iff a fault plan is
         #: installed on the hardware or the image.  True/False forces.
         self.fault_tolerant = fault_tolerant
-        self._ft_seen = False
         # EasyIO places completion buffers in a persistent region
         # (§4.2): every completion-buffer update is a durable store.
         # Failed/stranded SNs are likewise persisted (poisoned) the
@@ -112,6 +114,7 @@ class EasyIoFS(NovaFS):
             ch.on_completion = self._persist_completion
             ch.on_error = self._persist_channel_errors
             ch.on_reset = self._persist_channel_errors
+        self._io = self._build_pipeline()
 
     @property
     def fault_stats(self):
@@ -125,354 +128,41 @@ class EasyIoFS(NovaFS):
     def _persist_channel_errors(self, channel: DmaChannel, sns) -> None:
         self.image.record_channel_errors(channel.channel_id, tuple(sns))
 
-    def _supervised(self) -> bool:
-        """Should offloaded ops run under a fault supervisor?"""
-        if self.fault_tolerant is not None:
-            return self.fault_tolerant
-        if self._ft_seen:
-            return True
-        if (self.image.fault_plan is not None
-                or any(ch.fault_plan is not None
-                       for ch in self.platform.dma.channels)):
-            self._ft_seen = True
-            return True
-        return False
-
     # ------------------------------------------------------------------
     # Two-level locking (§4.3)
     # ------------------------------------------------------------------
     def _wait_level2(self, ctx: OpContext, m: MemInode):
-        """Level-2 check: block until the previous write's DMA lands.
-
-        Runs with the level-1 lock held; safe because completion is
-        hardware-driven and always makes progress (no deadlock).  The
-        wait spins inside the syscall, so it costs CPU -- which is why
-        high-contention workloads cap EasyIO's benefit (§6.6).
-
-        Under fault supervision the wait targets the supervisor's
-        all-data-landed event instead of the raw completion buffer: a
-        halted channel's completion may never arrive, but the
-        supervisor always resolves (retry, failover, or memcpy).
-
-        With a context deadline the wait is bounded: it raises
-        :class:`DeadlineExceeded` (detaching from, never cancelling,
-        the shared completion event) once the budget runs out.
-        """
-        done = m.pending_done
-        if done is not None and not done.triggered:
-            yield from ctx.timed_wait(done, what=f"level-2 wait ino{m.ino}")
-            return
-        for chid, sn in m.pending_sns:
-            ch = self.platform.dma.channel(chid)
-            if not ch.is_complete(sn):
-                yield from ctx.timed_wait(
-                    ch.completion_event(sn),
-                    what=f"level-2 completion ch{chid}/sn{sn}")
+        """Level-2 check: block until the previous write's DMA lands
+        (see :class:`~repro.io.middleware.Level2Gate` for semantics)."""
+        yield from self.io.level2.wait(ctx, m)
 
     # ------------------------------------------------------------------
-    # Write path: orderless file operation (§4.2)
+    # Pipeline composition (§4.2-§4.4 as declarative policy)
     # ------------------------------------------------------------------
-    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
-                      nbytes: int, payload: Optional[bytes]):
-        try:
-            # Write-write conflict: an unfinished earlier write blocks us.
-            yield from self._wait_level2(ctx, m)
-            yield from self._charge_lock_contention(ctx)
-            # Clean abort point: nothing allocated or submitted yet.
-            ctx.check_deadline(f"write ino{m.ino} pre-submit")
-            prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
-            offload = self.cm.should_offload_write(nbytes)
-            if offload and self._budget_forces_sync(ctx):
-                self.overload_stats.degraded_to_sync += 1
-                offload = False
-            channel = self.cm.write_channel(ctx.app) if offload else None
-            if channel is None:
-                # Selective offloading keeps small I/O on the CPU; a
-                # missing channel means graceful degradation (no
-                # healthy channel left) -- same path, plus accounting.
-                if offload:
-                    self.fault_stats.degraded_writes += 1
-                    self.fault_stats.degraded_bytes += nbytes
-                self.memcpy_writes += 1
-                for run_bytes in prep.run_sizes:
-                    yield from ctx.timed_cpu(
-                        "memcpy", self.memory.cpu_copy(run_bytes, write=True,
-                                                       tag=("w", m.ino)))
-                self._persist_pages(prep)
-                yield from self._commit_write(ctx, m, prep, sns=())
-                m.pending_sns = ()
-                m.pending_done = None
-                return OpResult(value=nbytes, ctx=ctx)
-            self.dma_writes += 1
-            jobs = yield from self._submit_write_dma(ctx, m, prep, channel)
-            sns = tuple((j.channel.channel_id, j.desc.sn) for j in jobs)
-            if self._supervised():
-                pending = self.engine.event()
-                _entry, log_idx = yield from self._commit_write(
-                    ctx, m, prep, sns=sns, free_on=pending)
-                self.engine.process(
-                    self._supervise_write(ctx.app, m, jobs, sns, log_idx,
-                                          pending, deadline=ctx.deadline),
-                    name=f"supervise-w-ino{m.ino}")
-                m.pending_done = pending
-            else:
-                pending = self._pending_event([j.desc for j in jobs])
-                # Orderless: the metadata commit (with embedded SNs)
-                # runs while the DMA engine moves the data.  The
-                # replaced pages are recycled only once it has landed.
-                yield from self._commit_write(ctx, m, prep, sns=sns,
-                                              free_on=pending)
-                m.pending_done = None
-            m.pending_sns = sns
-            return OpResult(value=nbytes, pending=pending, sns=sns, ctx=ctx)
-        finally:
-            # Early release: the syscall both locked and unlocked the
-            # file -- no lock is ever held across a scheduling point.
-            m.lock.release_write()
-
-    def _submit_write_dma(self, ctx: OpContext, m: MemInode, prep,
-                          channel: Optional[DmaChannel] = None):
-        """Build one descriptor per contiguous page run (B-apps: split
-        to 64 KB), batch-submit, and hook page persistence.
-
-        Returns the submitted :class:`_DmaJob` list (one per
-        descriptor, carrying the pages needed for retries).
-        """
-        app = ctx.app
-        if channel is None:
-            channel = self.cm.write_channel(app)
-        jobs: List[_DmaJob] = []
-        for pids, contents in _contiguous_runs(prep.page_ids, prep.contents):
-            run_bytes = len(pids) * PAGE_SIZE
-            for chunk in self.cm.split(app, run_bytes):
-                take = chunk // PAGE_SIZE
-                chunk_pids, pids = pids[:take], pids[take:]
-                chunk_contents, contents = contents[:take], contents[take:]
-                desc = DmaDescriptor(chunk, write=True, tag=("w", m.ino))
-                desc.on_complete = self._page_persister(chunk_pids, chunk_contents)
-                jobs.append(_DmaJob(desc, channel, write=True,
-                                    pids=chunk_pids, contents=chunk_contents))
-        # The submission cost is the CPU's remaining share of the data
-        # movement, so it lands in the memcpy bucket.
-        descs = [j.desc for j in jobs]
-        for i in range(0, len(descs), self.model.dma_batch_max):
-            batch = descs[i:i + self.model.dma_batch_max]
-            yield from ctx.timed_cpu("memcpy", channel.submit(batch))
-        return jobs
-
-    def _page_persister(self, pids, contents):
-        def persist(_desc):
-            self._persist_contents(pids, contents)
-        return persist
-
-    def _persist_contents(self, pids, contents) -> None:
-        """Persist pages, detecting media faults via the checksum hook.
-
-        A mismatching read-back is rewritten immediately; crash-sound
-        because the completion buffer (or log amendment) that validates
-        the data is only persisted after this returns -- a crash
-        between garbage and rewrite leaves the entry invalid.
-        """
-        image = self.image
-        guard = image.fault_plan is not None
-        for pid, content in zip(pids, contents):
-            image.write_page(pid, content)
-            if not guard or content is ELIDED:
-                continue
-            expected = image.checksum(content)
-            rewrites = 0
-            while not image.verify_page(pid, expected):
-                self.fault_stats.media_faults_detected += 1
-                rewrites += 1
-                if rewrites > self.MEDIA_REWRITE_MAX:
-                    raise RuntimeError(
-                        f"page {pid}: media faults persist after "
-                        f"{rewrites - 1} rewrites")
-                image.write_page(pid, content)
-
-    def _persist_pages(self, prep) -> None:
-        """Memcpy-path persistence (also the degraded path) -- with the
-        same media-fault detection as the DMA persister."""
-        self._persist_contents(prep.page_ids, prep.contents)
-
-    def _pending_event(self, descs: List[DmaDescriptor]):
-        if len(descs) == 1:
-            return descs[0].done
-        return self.engine.all_of([d.done for d in descs])
-
-    def _budget_forces_sync(self, ctx: OpContext) -> bool:
-        """Overload policy: run the data path synchronously when the
-        scheduler demanded it or the deadline budget is too thin."""
-        if ctx.force_sync:
-            return True
-        rem = ctx.remaining()
-        return rem is not None and rem < self.DEADLINE_MIN_ASYNC_NS
-
-    # ------------------------------------------------------------------
-    # Fault supervision: retry / failover / graceful degradation
-    # ------------------------------------------------------------------
-    def _supervise_write(self, app: Optional[AppProfile], m: MemInode,
-                         jobs: List[_DmaJob],
-                         orig_sns: Tuple[Tuple[int, int], ...],
-                         log_idx: int, outer,
-                         deadline: Optional[int] = None):
-        """Drive one write's descriptors to resolution, then settle the
-        log entry.
-
-        Terminates because each round either resolves every job or
-        consumes a retry budget, and the degradation fallback (memcpy)
-        always succeeds.  Once all data has landed, the committed log
-        entry's SN field is amended iff any descriptor moved (failover
-        or degradation), so recovery judges the entry by SNs that are
-        actually achievable.  Only then does ``outer`` fire -- which
-        releases level-2 waiters and recycles the replaced CoW pages.
-
-        ``deadline`` bounds the retry/backoff loop: once it passes, the
-        supervisor stops gambling on retries and degrades immediately.
-        """
-        yield from self._resolve_jobs(app, m.ino, jobs, deadline=deadline)
-        final_sns = tuple(j.final for j in jobs if j.final)
-        if final_sns != orig_sns:
-            self.image.amend_log_sns(m.ino, log_idx, final_sns)
-            if m.pending_sns == orig_sns:
-                m.pending_sns = final_sns
-        outer.succeed(None)
-
-    def _supervise_read(self, app: Optional[AppProfile], ino: int,
-                        jobs: List[_DmaJob], outer,
-                        deadline: Optional[int] = None):
-        """Drive one read's descriptors to resolution (reads carry no
-        SNs, so no log settlement is needed)."""
-        yield from self._resolve_jobs(app, ino, jobs, deadline=deadline)
-        outer.succeed(None)
-
-    def _resolve_jobs(self, app: Optional[AppProfile], ino: int,
-                      jobs: List[_DmaJob], deadline: Optional[int] = None):
-        stats = self.fault_stats
-        attempt = 0
-        while True:
-            waits = [j.desc.done for j in jobs
-                     if j.final is None and not j.desc.done.triggered]
-            if waits:
-                yield self.engine.all_of(waits)
-            bad: List[_DmaJob] = []
-            for j in jobs:
-                if j.final is not None:
-                    continue
-                if j.desc.status == "ok":
-                    j.final = (j.channel.channel_id, j.desc.sn)
-                    self.cm.note_success(j.channel)
-                else:
-                    bad.append(j)
-            if not bad:
-                return
-            attempt += 1
-            for j in bad:
-                if j.desc.status == "error" and j.desc.error == "xfer_error":
-                    # Soft error: feed the health tracker.  Halts and
-                    # strands are already accounted via on_halt.
-                    self.cm.note_error(j.channel)
-            past_deadline = (deadline is not None
-                             and self.engine.now >= deadline)
-            if attempt > self.DMA_RETRY_MAX or past_deadline:
-                # Out of retry budget -- or out of time: a missed
-                # deadline cancels the remaining retry/backoff rounds
-                # and settles the data via memcpy right now.
-                if past_deadline and attempt <= self.DMA_RETRY_MAX:
-                    self.overload_stats.cancelled += len(bad)
-                for j in bad:
-                    yield from self._degrade_job(j, ino)
-                continue
-            backoff = min(self.DMA_RETRY_BASE_NS * (2 ** (attempt - 1)),
-                          self.DMA_RETRY_CAP_NS)
-            if deadline is not None:
-                backoff = min(backoff, max(0, deadline - self.engine.now))
-            yield self.engine.timeout(backoff)
-            for j in bad:
-                soft = (j.desc.status == "error"
-                        and j.desc.error == "xfer_error")
-                target = self.cm.retry_channel(app, j.channel, soft)
-                if target is None:
-                    yield from self._degrade_job(j, ino)
-                    continue
-                stats.retries += 1
-                if target is not j.channel:
-                    stats.failovers += 1
-                redo = DmaDescriptor(j.nbytes, write=j.write, tag=j.desc.tag)
-                if j.write:
-                    redo.on_complete = self._page_persister(j.pids, j.contents)
-                j.desc = redo
-                j.channel = target
-                yield from target.submit([redo])
-
-    def _degrade_job(self, j: _DmaJob, ino: int):
-        """Graceful degradation: move one job's bytes via memcpy."""
-        stats = self.fault_stats
-        if j.write:
-            stats.degraded_writes += 1
-        else:
-            stats.degraded_reads += 1
-        stats.degraded_bytes += j.nbytes
-        yield from self.memory.cpu_copy(j.nbytes, write=j.write,
-                                        tag=("degrade", ino))
-        if j.write:
-            self._persist_contents(j.pids, j.contents)
-        j.final = ()
-
-    # ------------------------------------------------------------------
-    # Read path: DMA + memcpy with admission control (Listing 2)
-    # ------------------------------------------------------------------
-    def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
-                      nbytes: int, runs, want_data: bool):
-        jobs: List[_DmaJob] = []
-        try:
-            force_sync = self._budget_forces_sync(ctx)
-            if force_sync and any(pages for _off, pages in runs):
-                self.overload_stats.degraded_to_sync += 1
-            for _off, pages in runs:
-                if not pages:
-                    continue
-                run_bytes = len(pages) * PAGE_SIZE
-                channel = (None if force_sync
-                           else self.cm.admit_read(run_bytes, ctx.app))
-                if channel is None:
-                    self.memcpy_reads += 1
-                    yield from ctx.timed_cpu(
-                        "memcpy", self.memory.cpu_copy(run_bytes, write=False,
-                                                       tag=("r", m.ino)))
-                else:
-                    self.dma_reads += 1
-                    # B-apps' bulk reads are split to 64 KB like their
-                    # writes, so a channel suspension never wastes a
-                    # large in-flight transfer (§4.4).
-                    descs = [DmaDescriptor(chunk, write=False,
-                                           tag=("r", m.ino))
-                             for chunk in self.cm.split(ctx.app, run_bytes)]
-                    for i in range(0, len(descs), self.model.dma_batch_max):
-                        yield from ctx.timed_cpu(
-                            "memcpy",
-                            channel.submit(descs[i:i + self.model.dma_batch_max]))
-                    jobs.extend(_DmaJob(d, channel, write=False)
-                                for d in descs)
-            # Reads only touch timestamps; commit and unlock immediately
-            # -- later writes may start while our DMA is in flight (CoW
-            # plus deferred page recycling keep the data stable).
-            yield from ctx.charge("metadata", self.model.timestamp_update_cost)
-            value = (self._collect_data(m, offset, nbytes)
-                     if want_data else nbytes)
-        finally:
-            m.lock.release_read()
-        pending = None
-        if jobs:
-            if self._supervised():
-                pending = self.engine.event()
-                self.engine.process(
-                    self._supervise_read(ctx.app, m.ino, jobs, pending,
-                                         deadline=ctx.deadline),
-                    name=f"supervise-r-ino{m.ino}")
-            else:
-                pending = self._pending_event([j.desc for j in jobs])
-        return OpResult(value=value, pending=pending, ctx=ctx)
+    def _build_pipeline(self) -> IoPipeline:
+        planner = IoPlanner(self)
+        persister = VerifyingPagePersister(self.image, self.fault_stats,
+                                           rewrite_max=self.MEDIA_REWRITE_MAX)
+        backend = DmaAsyncBackend(self.cm, self.memory, persister,
+                                  OpCounters(self))
+        fallback = MemcpyBackend(self.memory, persister)
+        completion = BatchedPendingCompletion(self.engine)
+        supervisor = FaultSupervisor(self.engine, self.cm, self.image,
+                                     self.memory, persister,
+                                     self.overload_stats)
+        level2 = Level2Gate(self)
+        admission = AdmissionControl(self.overload_stats,
+                                     self.DEADLINE_MIN_ASYNC_NS)
+        supervision = SupervisionPolicy(self, supervisor)
+        stats = OpCounters(self)
+        return IoPipeline(
+            write=OrderlessWritePipeline(self, planner, level2,
+                                         DeadlineGate(), admission, backend,
+                                         fallback, completion, supervision,
+                                         stats),
+            read=AsyncReadPipeline(self, planner, admission, backend,
+                                   completion, supervision),
+            planner=planner, level2=level2)
 
 
 class NaiveAsyncFS(EasyIoFS):
@@ -488,52 +178,12 @@ class NaiveAsyncFS(EasyIoFS):
 
     name = "Naive"
 
-    def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
-                      nbytes: int, payload: Optional[bytes]):
-        yield from self._charge_lock_contention(ctx)
-        prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
-        if not self.cm.should_offload_write(nbytes):
-            try:
-                self.memcpy_writes += 1
-                for run_bytes in prep.run_sizes:
-                    yield from ctx.timed_cpu(
-                        "memcpy", self.memory.cpu_copy(run_bytes, write=True,
-                                                       tag=("w", m.ino)))
-                self._persist_pages(prep)
-                yield from self._commit_write(ctx, m, prep, sns=())
-            finally:
-                m.lock.release_write()
-            return OpResult(value=nbytes, ctx=ctx)
-        self.dma_writes += 1
-        jobs = yield from self._submit_write_dma(ctx, m, prep)
-        pending = self._pending_event([j.desc for j in jobs])
-
-        def commit_syscall(ctx2: OpContext):
-            # Second interaction with the filesystem (§3): metadata
-            # commit once the data I/O has finished.
-            yield from ctx2.charge("syscall", self.model.syscall_cost)
-            try:
-                yield from self._commit_write(ctx2, m, prep, sns=())
-            finally:
-                m.lock.release_write()
-            return nbytes
-
-        # NOTE: the level-1 lock stays held across the asynchronous gap.
-        return OpResult(value=nbytes, pending=pending, ctx=ctx,
-                        continuation=commit_syscall)
-
-
-def _contiguous_runs(page_ids, contents) -> List[Tuple[list, list]]:
-    """Group (page_ids, contents) into physically contiguous runs."""
-    runs: List[Tuple[list, list]] = []
-    cur_ids: list = []
-    cur_contents: list = []
-    for pid, content in zip(page_ids, contents):
-        if cur_ids and pid != cur_ids[-1] + 1:
-            runs.append((cur_ids, cur_contents))
-            cur_ids, cur_contents = [], []
-        cur_ids.append(pid)
-        cur_contents.append(content)
-    if cur_ids:
-        runs.append((cur_ids, cur_contents))
-    return runs
+    def _build_pipeline(self) -> IoPipeline:
+        base = super()._build_pipeline()
+        w = base.write
+        return IoPipeline(
+            write=OrderedAsyncWritePipeline(self, w.planner, w.backend,
+                                            w.fallback, w.completion,
+                                            w.stats),
+            read=base.read,
+            planner=base.planner, level2=base.level2)

@@ -276,11 +276,6 @@ def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
 
 def make_fs_on_image(kind: str, platform: Platform, image):
     """Construct (without mounting) the named filesystem over ``image``."""
-    from repro.baselines.nova_dma import NovaDmaFS
-    from repro.baselines.odinfs import OdinfsFS
-    from repro.core.easyio import EasyIoFS, NaiveAsyncFS
-    from repro.fs.nova import NovaFS
+    from repro.workloads.factory import fs_class
 
-    classes = {"nova": NovaFS, "nova-dma": NovaDmaFS, "odinfs": OdinfsFS,
-               "easyio": EasyIoFS, "naive": NaiveAsyncFS}
-    return classes[kind](platform, image)
+    return fs_class(kind)(platform, image)

@@ -10,10 +10,12 @@ that charges calibrated CPU costs phase by phase, so the Figure 1
 latency breakdown (metadata / memcpy / indexing / syscall & VFS) falls
 out of instrumentation rather than estimation.
 
-Subclasses override the *data movement* hooks (`_write_locked`,
-`_read_extents`) to become NOVA-DMA, Odinfs, or EasyIO; the metadata
-formats and namespace operations are shared -- mirroring the paper's
-claim that EasyIO needs <50 changed lines in NOVA.
+Data movement is delegated to the unified I/O pipeline
+(:mod:`repro.io`): each variant -- NOVA, NOVA-DMA, Odinfs, EasyIO --
+overrides only :meth:`NovaFS._build_pipeline` to compose a planner, a
+copy backend, a completion strategy, and middleware stages.  The
+metadata formats and namespace operations are shared -- mirroring the
+paper's claim that EasyIO needs <50 changed lines in NOVA.
 """
 
 from __future__ import annotations
@@ -205,6 +207,10 @@ class NovaFS:
         self._mem: Dict[int, MemInode] = {}
         self.ops_completed = 0
         self._mounted = False
+        # The I/O pipeline composition; variants that must spawn
+        # processes at construction time (Odinfs) build it eagerly at
+        # the end of their own __init__, everyone else on first use.
+        self._io = None
 
     # ------------------------------------------------------------------
     # Mount / volatile state
@@ -485,96 +491,9 @@ class NovaFS:
 
     def _write_locked(self, ctx: OpContext, m: MemInode, offset: int,
                       nbytes: int, payload: Optional[bytes]):
-        """Synchronous NOVA: CoW copy via CPU, then commit, then unlock."""
-        try:
-            yield from self._charge_lock_contention(ctx)
-            prep = yield from self._prepare_cow(ctx, m, offset, nbytes, payload)
-            # Data pages first (strict order): CPU memcpy into PM.
-            for run_bytes in prep.run_sizes:
-                yield from ctx.timed_cpu(
-                    "memcpy", self.memory.cpu_copy(run_bytes, write=True,
-                                                   tag=("w", m.ino)))
-            self._persist_pages(prep)
-            # ...then the metadata commit.
-            yield from self._commit_write(ctx, m, prep, sns=())
-        finally:
-            m.lock.release_write()
-        return OpResult(value=nbytes, ctx=ctx)
-
-    # -- shared CoW machinery -------------------------------------------
-    @dataclass
-    class _CowPrep:
-        pgoff: int
-        page_ids: List[int]
-        contents: List[Any]
-        old_pages: List[int]
-        size_after: int
-        run_sizes: List[int]
-        nbytes: int
-        offset: int
-
-    def _prepare_cow(self, ctx: OpContext, m: MemInode, offset: int,
-                     nbytes: int, payload: Optional[bytes]):
-        """Allocate CoW pages and compute their new contents.
-
-        Partial head/tail pages cost an extra CPU copy of the preserved
-        region (NOVA must merge old data into the fresh CoW page).
-        """
-        pgoff = offset // PAGE_SIZE
-        last = (offset + nbytes - 1) // PAGE_SIZE
-        npages = last - pgoff + 1
-        yield from ctx.charge(
-            "metadata",
-            self.model.block_alloc_cost
-            + self.model.block_alloc_page_cost * npages)
-        page_ids = self.allocator.allocate(npages)
-        head_cut = offset - pgoff * PAGE_SIZE
-        tail_cut = (pgoff + npages) * PAGE_SIZE - (offset + nbytes)
-        # Merge cost for partially overwritten edge pages.
-        merge_bytes = 0
-        if head_cut and m.index.get(pgoff) is not None:
-            merge_bytes += head_cut
-        if tail_cut and m.index.get(last) is not None:
-            merge_bytes += tail_cut
-        if merge_bytes:
-            yield from ctx.timed_cpu(
-                "memcpy", self.memory.cpu_copy(merge_bytes, write=True,
-                                               tag=("merge", m.ino)))
-        contents: List[Any] = []
-        if payload is None:
-            contents = [ELIDED] * npages
-        else:
-            for i in range(npages):
-                page_start = (pgoff + i) * PAGE_SIZE
-                old = self._old_page_content(m, pgoff + i)
-                lo = max(offset, page_start) - page_start
-                hi = min(offset + nbytes, page_start + PAGE_SIZE) - page_start
-                data_lo = page_start + lo - offset
-                new = bytearray(old)
-                new[lo:hi] = payload[data_lo:data_lo + (hi - lo)]
-                contents.append(bytes(new))
-        old_pages = [m.index[off].page_id
-                     for off in range(pgoff, pgoff + npages) if off in m.index]
-        # One copy per physically contiguous run of new pages; freshly
-        # allocated runs are contiguous unless the recycler fragmented
-        # them -- model one run per fragment.
-        run_sizes: List[int] = []
-        run = 0
-        prev = None
-        for pid in page_ids:
-            if prev is not None and pid != prev + 1 and run:
-                run_sizes.append(run)
-                run = 0
-            run += PAGE_SIZE
-            prev = pid
-        if run:
-            run_sizes.append(run)
-        # The edge pages move fewer payload bytes, but the CoW copy
-        # still writes whole pages (merge + payload), so run_sizes stays
-        # page-granular -- matching NOVA's page-granularity CoW cost.
-        size_after = max(m.size, offset + nbytes)
-        return self._CowPrep(pgoff, page_ids, contents, old_pages,
-                             size_after, run_sizes, nbytes, offset)
+        """Delegate to the variant's write pipeline (see repro.io)."""
+        result = yield from self.io.write.run(ctx, m, offset, nbytes, payload)
+        return result
 
     def _old_page_content(self, m: MemInode, off: int) -> bytes:
         mapping = m.index.get(off)
@@ -585,15 +504,13 @@ class NovaFS:
             return bytes(PAGE_SIZE)
         return data
 
-    def _persist_pages(self, prep: "_CowPrep") -> None:
-        """Record the new page contents as durable (data landed)."""
-        for pid, content in zip(prep.page_ids, prep.contents):
-            self.image.write_page(pid, content)
-
-    def _commit_write(self, ctx: OpContext, m: MemInode, prep: "_CowPrep",
+    def _commit_write(self, ctx: OpContext, m: MemInode, prep,
                       sns: Tuple[Tuple[int, int], ...],
                       free_on: Optional[Event] = None):
         """Append + commit the WriteEntry and update volatile state.
+
+        ``prep`` is the :class:`repro.io.plan.CowPrep` the pipeline's
+        planner produced for this write.
 
         ``free_on``: for asynchronous writes, the replaced CoW pages may
         only be recycled once the DMA has landed -- recovery falls back
@@ -677,20 +594,10 @@ class NovaFS:
 
     def _read_extents(self, ctx: OpContext, m: MemInode, offset: int,
                       nbytes: int, runs, want_data: bool):
-        """Synchronous NOVA: one CPU memcpy per contiguous extent."""
-        try:
-            for _off, pages in runs:
-                if pages:
-                    yield from ctx.timed_cpu(
-                        "memcpy", self.memory.cpu_copy(len(pages) * PAGE_SIZE,
-                                                       write=False,
-                                                       tag=("r", m.ino)))
-            yield from ctx.charge("metadata", self.model.timestamp_update_cost)
-            value = (self._collect_data(m, offset, nbytes)
-                     if want_data else nbytes)
-        finally:
-            m.lock.release_read()
-        return OpResult(value=value, ctx=ctx)
+        """Delegate to the variant's read pipeline (see repro.io)."""
+        result = yield from self.io.read.run(ctx, m, offset, nbytes, runs,
+                                             want_data)
+        return result
 
     def _collect_data(self, m: MemInode, offset: int, nbytes: int) -> bytes:
         """Materialise the read's bytes from the current page contents."""
@@ -736,6 +643,34 @@ class NovaFS:
             yield from ctx.charge(
                 "syscall", self.model.lock_contended_cost * ctx.lock_racing)
             ctx.lock_racing = 0
+
+    # ------------------------------------------------------------------
+    # The I/O pipeline composition (see repro.io)
+    # ------------------------------------------------------------------
+    @property
+    def io(self):
+        """This variant's :class:`~repro.io.pipeline.IoPipeline`."""
+        if self._io is None:
+            self._io = self._build_pipeline()
+        return self._io
+
+    def _build_pipeline(self):
+        """Compose the variant's data path.  NOVA: synchronous CPU
+        memcpy for both directions (the paper's baseline)."""
+        # Imported here: repro.io imports OpResult from this module.
+        from repro.io import (
+            IoPipeline,
+            IoPlanner,
+            MemcpyBackend,
+            PagePersister,
+            SyncReadPipeline,
+            SyncWritePipeline,
+        )
+        planner = IoPlanner(self)
+        backend = MemcpyBackend(self.memory, PagePersister(self.image))
+        return IoPipeline(write=SyncWritePipeline(self, planner, backend),
+                          read=SyncReadPipeline(self, planner, backend),
+                          planner=planner)
 
     # ------------------------------------------------------------------
     # Hooks EasyIO overrides

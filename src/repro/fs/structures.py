@@ -142,22 +142,9 @@ class MemInode:
         consecutive pages over the requested file range.
 
         NOVA issues one memcpy (EasyIO: one DMA descriptor) per
-        physically contiguous run.
+        physically contiguous run.  The walk itself lives in
+        :func:`repro.io.plan.extent_runs` (the shared I/O planner).
         """
-        run_start = None
-        run_pages = []
-        for off in range(pgoff, pgoff + npages):
-            mapping = self.index.get(off)
-            page_id = mapping.page_id if mapping else None
-            if run_pages and page_id is not None and page_id == run_pages[-1] + 1:
-                run_pages.append(page_id)
-                continue
-            if run_pages:
-                yield run_start, run_pages
-            run_start, run_pages = off, ([page_id] if page_id is not None else [])
-            if page_id is None:
-                # A hole: emit an empty run so readers can zero-fill.
-                yield off, []
-                run_start, run_pages = None, []
-        if run_pages:
-            yield run_start, run_pages
+        # Imported here: repro.io pulls in modules that import this one.
+        from repro.io.plan import extent_runs
+        yield from extent_runs(self.index, pgoff, npages)

@@ -217,6 +217,19 @@ class DmaChannel:
             yield self._ring.put(desc)
         return list(descriptors)
 
+    def submit_all(self, descriptors: Sequence[DmaDescriptor]):
+        """Process generator: submit an arbitrary-length descriptor list.
+
+        The backend-neutral submission API (used by the ``repro.io``
+        copy backends): chunks the list into ring submissions of at
+        most ``dma_batch_max`` descriptors, charging the caller per
+        batch exactly as :meth:`submit` does.
+        """
+        step = self.model.dma_batch_max
+        for i in range(0, len(descriptors), step):
+            yield from self.submit(descriptors[i:i + step])
+        return list(descriptors)
+
     def try_submit_one(self, desc: DmaDescriptor) -> bool:
         """Non-blocking single-descriptor submit (no CPU cost charged).
 

@@ -1,0 +1,98 @@
+"""The unified I/O pipeline: planning, copy backends, completion
+strategies, middleware, and fault supervision.
+
+Every filesystem variant's data path is a declarative composition of
+these pieces (see each variant's ``_build_pipeline``):
+
+==========  ======================  ==================  ===================
+variant     write pipeline          copy backend        completion
+==========  ======================  ==================  ===================
+NOVA        SyncWritePipeline       MemcpyBackend       (synchronous copy)
+NOVA-DMA    SyncWritePipeline       DmaPollBackend      BusyPollCompletion
+Odinfs      SyncWritePipeline       DelegationBackend   ParkAndWakeCompletion
+EasyIO      OrderlessWritePipeline  DmaAsyncBackend     BatchedPendingCompletion
+Naive       OrderedAsyncWrite...    DmaAsyncBackend     BatchedPendingCompletion
+==========  ======================  ==================  ===================
+
+(The read side pairs SyncReadPipeline with the same backend for the
+synchronous variants and AsyncReadPipeline with DmaAsyncBackend for
+EasyIO/Naive.)
+"""
+
+from repro.io.backends import (
+    CopyBackend,
+    DelegationBackend,
+    DelegationRequest,
+    DelegationThread,
+    DmaAsyncBackend,
+    DmaPollBackend,
+    MemcpyBackend,
+)
+from repro.io.completion import (
+    BatchedPendingCompletion,
+    BusyPollCompletion,
+    CompletionStrategy,
+    ParkAndWakeCompletion,
+)
+from repro.io.middleware import (
+    AdmissionControl,
+    DeadlineGate,
+    Level2Gate,
+    OpCounters,
+    SupervisionPolicy,
+)
+from repro.io.persist import PagePersister, VerifyingPagePersister
+from repro.io.pipeline import (
+    AsyncReadPipeline,
+    IoPipeline,
+    OrderedAsyncWritePipeline,
+    OrderlessWritePipeline,
+    SyncReadPipeline,
+    SyncWritePipeline,
+)
+from repro.io.plan import (
+    CowPrep,
+    Extent,
+    IoPlan,
+    IoPlanner,
+    contiguous_runs,
+    extent_runs,
+    run_sizes,
+)
+from repro.io.supervision import DmaJob, FaultSupervisor
+
+__all__ = [
+    "AdmissionControl",
+    "AsyncReadPipeline",
+    "BatchedPendingCompletion",
+    "BusyPollCompletion",
+    "CompletionStrategy",
+    "CopyBackend",
+    "CowPrep",
+    "DeadlineGate",
+    "DelegationBackend",
+    "DelegationRequest",
+    "DelegationThread",
+    "DmaAsyncBackend",
+    "DmaJob",
+    "DmaPollBackend",
+    "Extent",
+    "FaultSupervisor",
+    "IoPipeline",
+    "IoPlan",
+    "IoPlanner",
+    "Level2Gate",
+    "MemcpyBackend",
+    "OpCounters",
+    "OrderedAsyncWritePipeline",
+    "OrderlessWritePipeline",
+    "PagePersister",
+    "ParkAndWakeCompletion",
+    "SupervisionPolicy",
+    "SyncReadPipeline",
+    "SyncWritePipeline",
+    "VerifyingPagePersister",
+    "contiguous_runs",
+    "extent_runs",
+    "run_sizes",
+]

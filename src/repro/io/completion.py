@@ -1,0 +1,80 @@
+"""Completion strategies: how an operation learns its copy finished.
+
+The strategy owns the scheduler parking contract -- whether the core
+spins, sleeps, or returns to the application with a pending event:
+
+* :class:`BusyPollCompletion` -- NOVA-DMA: the core polls the
+  completion buffer, burning CPU for the whole transfer (no cycles
+  harvested).
+* :class:`ParkAndWakeCompletion` -- Odinfs: the application thread
+  sleeps while delegation threads copy and pays a kernel wakeup on
+  completion (synchronous interface, but the core is idle).
+* :class:`BatchedPendingCompletion` -- EasyIO: the syscall returns
+  immediately with one pending event covering the whole descriptor
+  batch; completion is observed after return (orderless operation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class CompletionStrategy:
+    """Interface marker; see the module docstring for the contract."""
+
+    name = "none"
+
+
+class BusyPollCompletion(CompletionStrategy):
+    """Poll the completion buffer; the core burns CPU throughout."""
+
+    name = "busy-poll"
+
+    def wait(self, ctx, descs: Sequence):
+        """Process generator: spin until every descriptor completes.
+
+        The elapsed time is charged to the "memcpy" phase -- to the
+        software it is indistinguishable from a slow synchronous copy.
+        """
+        engine = ctx.engine
+        for desc in descs:
+            if not desc.done.triggered:
+                t0 = engine.now
+                yield desc.done
+                elapsed = engine.now - t0
+                if ctx.record:
+                    ctx.breakdown["memcpy"] += elapsed
+                ctx.cpu_ns += elapsed
+
+
+class ParkAndWakeCompletion(CompletionStrategy):
+    """Sleep until every chunk lands, then pay the kernel wakeup."""
+
+    name = "park-and-wake"
+
+    def __init__(self, model):
+        self.model = model
+
+    def wait(self, ctx, events: List):
+        """Process generator: park the core on the batch of events."""
+        engine = ctx.engine
+        t0 = engine.now
+        yield from ctx.idle_wait(engine.all_of(events))
+        yield from ctx.charge("syscall", self.model.kernel_wakeup_cost)
+        if ctx.record:
+            ctx.breakdown["wait"] += engine.now - t0
+
+
+class BatchedPendingCompletion(CompletionStrategy):
+    """Return a single pending event covering a descriptor batch."""
+
+    name = "batched-pending"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def pending(self, descs: Sequence):
+        """The event that fires once every descriptor has resolved."""
+        if len(descs) == 1:
+            return descs[0].done
+        return self.engine.all_of([d.done for d in descs])

@@ -1,0 +1,68 @@
+"""Page persistence: recording copied data as durable.
+
+The persister is the pipeline stage between "bytes moved" and
+"metadata may reference them".  The base :class:`PagePersister` simply
+lands page contents in the PM image; :class:`VerifyingPagePersister`
+adds EasyIO's media-fault detection (checksum read-back + bounded
+rewrite), used on both the DMA completion path and the memcpy
+degradation path.
+"""
+
+from __future__ import annotations
+
+from repro.fs.pmimage import ELIDED
+
+
+class PagePersister:
+    """Record new page contents as durable (data landed)."""
+
+    def __init__(self, image):
+        self.image = image
+
+    def persist(self, pids, contents) -> None:
+        image = self.image
+        for pid, content in zip(pids, contents):
+            image.write_page(pid, content)
+
+    def on_complete(self, pids, contents):
+        """A DMA ``on_complete`` callback persisting these pages."""
+        def _persist(_desc):
+            self.persist(pids, contents)
+        return _persist
+
+
+class VerifyingPagePersister(PagePersister):
+    """Persist pages, detecting media faults via the checksum hook.
+
+    A mismatching read-back is rewritten immediately; crash-sound
+    because the completion buffer (or log amendment) that validates
+    the data is only persisted after this returns -- a crash between
+    garbage and rewrite leaves the entry invalid.
+    """
+
+    #: Give up on a page after this many checksum-verify rewrites.
+    MEDIA_REWRITE_MAX = 8
+
+    def __init__(self, image, fault_stats, rewrite_max: int = None):
+        super().__init__(image)
+        self.fault_stats = fault_stats
+        self.rewrite_max = (rewrite_max if rewrite_max is not None
+                            else self.MEDIA_REWRITE_MAX)
+
+    def persist(self, pids, contents) -> None:
+        image = self.image
+        guard = image.fault_plan is not None
+        for pid, content in zip(pids, contents):
+            image.write_page(pid, content)
+            if not guard or content is ELIDED:
+                continue
+            expected = image.checksum(content)
+            rewrites = 0
+            while not image.verify_page(pid, expected):
+                self.fault_stats.media_faults_detected += 1
+                rewrites += 1
+                if rewrites > self.rewrite_max:
+                    raise RuntimeError(
+                        f"page {pid}: media faults persist after "
+                        f"{rewrites - 1} rewrites")
+                image.write_page(pid, content)

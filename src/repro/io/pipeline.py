@@ -1,0 +1,285 @@
+"""The I/O pipelines: how an operation is staged, not how bytes move.
+
+Every filesystem variant's read and write path is one of these four
+pipelines, composed declaratively from a planner, middleware stages,
+a copy backend, and a completion strategy (see the per-variant
+``_build_pipeline`` methods):
+
+* :class:`SyncWritePipeline` / :class:`SyncReadPipeline` -- strictly
+  ordered: copy + persist, then the metadata commit, then unlock
+  (NOVA, NOVA-DMA, Odinfs; only the backend differs).
+* :class:`OrderlessWritePipeline` -- EasyIO §4.2: metadata commits in
+  parallel with the in-flight DMA, the lock releases at commit, and
+  the SNs embedded in the log entry regulate later conflicts.
+* :class:`OrderedAsyncWritePipeline` -- the §6.4 Naive ablation:
+  asynchronous submission but strictly ordered commit in a *second*
+  syscall, the file lock held across the gap.
+* :class:`AsyncReadPipeline` -- EasyIO reads: per-extent admission,
+  unlock immediately, completion observed after return.
+
+Pipelines own stage *ordering* (level-2 gate -> contention charge ->
+deadline check -> admission -> backend -> supervision -> stats); all
+data movement lives in the backends and all metadata stays on the
+filesystem (``_commit_write`` and friends).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fs.nova import OpResult
+from repro.io.supervision import DmaJob
+
+
+class IoPipeline:
+    """One filesystem's I/O composition: a write and a read pipeline."""
+
+    def __init__(self, write, read, planner, level2=None):
+        self.write = write
+        self.read = read
+        self.planner = planner
+        #: The level-2 gate (two-level locking), where the variant has
+        #: one; ``NovaFS._wait_level2`` also waits on it for truncate.
+        self.level2 = level2
+
+    def describe(self) -> dict:
+        """Backend/completion matrix entry for this composition."""
+        out = {"write": type(self.write).__name__,
+               "read": type(self.read).__name__}
+        for side in ("write", "read"):
+            stage = getattr(self, side)
+            backend = getattr(stage, "backend", None)
+            if backend is not None:
+                out[f"{side}_backend"] = backend.name
+            completion = getattr(stage, "completion", None)
+            if completion is not None:
+                out[f"{side}_completion"] = completion.name
+        return out
+
+
+class SyncWritePipeline:
+    """Strictly ordered write: data pages first, then the commit."""
+
+    def __init__(self, fs, planner, backend):
+        self.fs = fs
+        self.planner = planner
+        self.backend = backend
+
+    def run(self, ctx, m, offset: int, nbytes: int, payload):
+        fs = self.fs
+        try:
+            yield from fs._charge_lock_contention(ctx)
+            prep = yield from self.planner.prepare_cow(ctx, m, offset,
+                                                       nbytes, payload)
+            plan = self.planner.write_plan(m, prep)
+            # Data pages first (strict order)...
+            yield from self.backend.write(ctx, plan)
+            # ...then the metadata commit.
+            yield from fs._commit_write(ctx, m, prep, sns=())
+        finally:
+            m.lock.release_write()
+        return OpResult(value=nbytes, ctx=ctx)
+
+
+class SyncReadPipeline:
+    """Strictly ordered read: copy every extent, then return."""
+
+    def __init__(self, fs, planner, backend):
+        self.fs = fs
+        self.planner = planner
+        self.backend = backend
+
+    def run(self, ctx, m, offset: int, nbytes: int, runs, want_data: bool):
+        fs = self.fs
+        try:
+            plan = self.planner.read_plan_from_runs(m.ino, offset, nbytes,
+                                                    runs)
+            yield from self.backend.read(ctx, plan)
+            yield from ctx.charge("metadata",
+                                  fs.model.timestamp_update_cost)
+            value = (fs._collect_data(m, offset, nbytes)
+                     if want_data else nbytes)
+        finally:
+            m.lock.release_read()
+        return OpResult(value=value, ctx=ctx)
+
+
+class OrderlessWritePipeline:
+    """EasyIO's orderless file operation (§4.2).
+
+    The log entry carries the SNs of the write's DMA descriptors, so
+    the metadata commit proceeds *in parallel* with the data copy; the
+    file lock is released as soon as the commit lands, and the level-2
+    gate regulates later conflicts against the pending SNs.
+    """
+
+    def __init__(self, fs, planner, level2, deadline, admission, backend,
+                 fallback, completion, supervision, stats):
+        self.fs = fs
+        self.planner = planner
+        self.level2 = level2
+        self.deadline = deadline
+        self.admission = admission
+        self.backend = backend
+        #: Degradation target: the memcpy backend (verifying persister).
+        self.fallback = fallback
+        self.completion = completion
+        self.supervision = supervision
+        self.stats = stats
+
+    def run(self, ctx, m, offset: int, nbytes: int, payload):
+        fs = self.fs
+        try:
+            # Write-write conflict: an unfinished earlier write blocks us.
+            yield from self.level2.wait(ctx, m)
+            yield from fs._charge_lock_contention(ctx)
+            self.deadline.check(ctx, m)
+            prep = yield from self.planner.prepare_cow(ctx, m, offset,
+                                                       nbytes, payload)
+            offload = fs.cm.should_offload_write(nbytes)
+            if offload and self.admission.forces_sync(ctx):
+                self.admission.note_degraded()
+                offload = False
+            channel = (self.backend.select_write_channel(ctx) if offload
+                       else None)
+            if channel is None:
+                # Selective offloading keeps small I/O on the CPU; a
+                # missing channel means graceful degradation (no
+                # healthy channel left) -- same path, plus accounting.
+                if offload:
+                    fs.fault_stats.degraded_writes += 1
+                    fs.fault_stats.degraded_bytes += nbytes
+                self.stats.bump("memcpy_writes")
+                plan = self.planner.write_plan(m, prep)
+                yield from self.fallback.write(ctx, plan)
+                yield from fs._commit_write(ctx, m, prep, sns=())
+                m.pending_sns = ()
+                m.pending_done = None
+                return OpResult(value=nbytes, ctx=ctx)
+            self.stats.bump("dma_writes")
+            plan = self.planner.write_plan(m, prep)
+            jobs = yield from self.backend.submit_write(ctx, plan, channel)
+            sns = tuple((j.channel.channel_id, j.desc.sn) for j in jobs)
+            if self.supervision.active():
+                pending = fs.engine.event()
+                _entry, log_idx = yield from fs._commit_write(
+                    ctx, m, prep, sns=sns, free_on=pending)
+                fs.engine.process(
+                    self.supervision.supervisor.supervise_write(
+                        ctx.app, m, jobs, sns, log_idx, pending,
+                        deadline=ctx.deadline),
+                    name=f"supervise-w-ino{m.ino}")
+                m.pending_done = pending
+            else:
+                pending = self.completion.pending([j.desc for j in jobs])
+                # Orderless: the metadata commit (with embedded SNs)
+                # runs while the DMA engine moves the data.  The
+                # replaced pages are recycled only once it has landed.
+                yield from fs._commit_write(ctx, m, prep, sns=sns,
+                                            free_on=pending)
+                m.pending_done = None
+            m.pending_sns = sns
+            return OpResult(value=nbytes, pending=pending, sns=sns, ctx=ctx)
+        finally:
+            # Early release: the syscall both locked and unlocked the
+            # file -- no lock is ever held across a scheduling point.
+            m.lock.release_write()
+
+
+class OrderedAsyncWritePipeline:
+    """The Naive ablation (§6.4): asynchronous offload, strictly ordered.
+
+    Data and metadata updates are split into two syscalls: the first
+    submits the DMA and *keeps the file locked*; once the completion
+    arrives, the runtime issues the second syscall, which commits the
+    metadata and only then unlocks.  Intermediate scheduling between
+    the two prolongs the critical section (Figure 11).
+    """
+
+    def __init__(self, fs, planner, backend, fallback, completion, stats):
+        self.fs = fs
+        self.planner = planner
+        self.backend = backend
+        self.fallback = fallback
+        self.completion = completion
+        self.stats = stats
+
+    def run(self, ctx, m, offset: int, nbytes: int, payload):
+        fs = self.fs
+        yield from fs._charge_lock_contention(ctx)
+        prep = yield from self.planner.prepare_cow(ctx, m, offset, nbytes,
+                                                   payload)
+        if not fs.cm.should_offload_write(nbytes):
+            try:
+                self.stats.bump("memcpy_writes")
+                plan = self.planner.write_plan(m, prep)
+                yield from self.fallback.write(ctx, plan)
+                yield from fs._commit_write(ctx, m, prep, sns=())
+            finally:
+                m.lock.release_write()
+            return OpResult(value=nbytes, ctx=ctx)
+        self.stats.bump("dma_writes")
+        plan = self.planner.write_plan(m, prep)
+        jobs = yield from self.backend.submit_write(ctx, plan)
+        pending = self.completion.pending([j.desc for j in jobs])
+
+        def commit_syscall(ctx2):
+            # Second interaction with the filesystem (§3): metadata
+            # commit once the data I/O has finished.
+            yield from ctx2.charge("syscall", fs.model.syscall_cost)
+            try:
+                yield from fs._commit_write(ctx2, m, prep, sns=())
+            finally:
+                m.lock.release_write()
+            return nbytes
+
+        # NOTE: the level-1 lock stays held across the asynchronous gap.
+        return OpResult(value=nbytes, pending=pending, ctx=ctx,
+                        continuation=commit_syscall)
+
+
+class AsyncReadPipeline:
+    """EasyIO reads: admission-controlled DMA, unlock immediately.
+
+    Reads only touch timestamps; commit and unlock happen right after
+    submission -- later writes may start while our DMA is in flight
+    (CoW plus deferred page recycling keep the data stable).
+    """
+
+    def __init__(self, fs, planner, admission, backend, completion,
+                 supervision):
+        self.fs = fs
+        self.planner = planner
+        self.admission = admission
+        self.backend = backend
+        self.completion = completion
+        self.supervision = supervision
+
+    def run(self, ctx, m, offset: int, nbytes: int, runs, want_data: bool):
+        fs = self.fs
+        jobs: List[DmaJob] = []
+        try:
+            force_sync = self.admission.forces_sync(ctx)
+            if force_sync and any(pages for _off, pages in runs):
+                self.admission.note_degraded()
+            plan = self.planner.read_plan_from_runs(m.ino, offset, nbytes,
+                                                    runs)
+            jobs = yield from self.backend.read(ctx, plan, force_sync)
+            yield from ctx.charge("metadata",
+                                  fs.model.timestamp_update_cost)
+            value = (fs._collect_data(m, offset, nbytes)
+                     if want_data else nbytes)
+        finally:
+            m.lock.release_read()
+        pending = None
+        if jobs:
+            if self.supervision.active():
+                pending = fs.engine.event()
+                fs.engine.process(
+                    self.supervision.supervisor.supervise_read(
+                        ctx.app, m.ino, jobs, pending,
+                        deadline=ctx.deadline),
+                    name=f"supervise-r-ino{m.ino}")
+            else:
+                pending = self.completion.pending([j.desc for j in jobs])
+        return OpResult(value=value, pending=pending, ctx=ctx)

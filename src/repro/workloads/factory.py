@@ -1,20 +1,36 @@
-"""Build platforms and filesystems by name (the §6.1 configurations)."""
+"""Build platforms and filesystems by name (the §6.1 configurations).
+
+The name -> class mapping is a real registry (:data:`FS_REGISTRY`):
+benchmarks, examples, and the crash harness resolve filesystems
+through :func:`fs_class` / :func:`make_fs` instead of importing the
+variant classes directly, and :func:`register_fs` lets experiment
+code add variants without touching this module.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+import inspect
+from typing import Dict, Optional, Type
 
 from repro.baselines.nova_dma import NovaDmaFS
 from repro.baselines.odinfs import OdinfsFS
-from repro.core.channel_manager import ChannelManager
 from repro.core.easyio import EasyIoFS, NaiveAsyncFS
 from repro.fs.nova import NovaFS
 from repro.fs.pmimage import PMImage
 from repro.hw.params import CostModel
 from repro.hw.platform import Platform, PlatformConfig
 
-#: The filesystems of the evaluation (Figure 8-10 series).
-FS_KINDS = ("nova", "nova-dma", "odinfs", "easyio", "naive")
+#: The filesystem registry: evaluation name -> class (Figure 8-10 series).
+FS_REGISTRY: Dict[str, Type[NovaFS]] = {
+    "nova": NovaFS,
+    "nova-dma": NovaDmaFS,
+    "odinfs": OdinfsFS,
+    "easyio": EasyIoFS,
+    "naive": NaiveAsyncFS,
+}
+
+#: The filesystems of the evaluation, in presentation order.
+FS_KINDS = tuple(FS_REGISTRY)
 
 #: Display names matching the paper's legends.
 FS_LABELS = {
@@ -26,6 +42,28 @@ FS_LABELS = {
 }
 
 
+def register_fs(kind: str, cls: Type[NovaFS],
+                label: Optional[str] = None) -> Type[NovaFS]:
+    """Register a filesystem class under an evaluation name.
+
+    Returns the class, so it can be used as a decorator:
+    ``@register_fs("my-variant", label="MyFS")`` is not supported --
+    call it as ``register_fs("my-variant", MyFS)``.
+    """
+    FS_REGISTRY[kind] = cls
+    FS_LABELS.setdefault(kind, label or getattr(cls, "name", kind))
+    return cls
+
+
+def fs_class(kind: str) -> Type[NovaFS]:
+    """Resolve an evaluation name to its filesystem class."""
+    try:
+        return FS_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(f"unknown filesystem kind {kind!r}; "
+                         f"choose from {tuple(FS_REGISTRY)}") from None
+
+
 def make_platform(single_node: bool = False,
                   model: Optional[CostModel] = None) -> Platform:
     """The paper testbed, or the single-NUMA-node §2.2 variant."""
@@ -34,28 +72,24 @@ def make_platform(single_node: bool = False,
     return Platform(config, model=model)
 
 
-def make_fs(kind: str, platform: Platform, record: bool = False, **kwargs):
-    """Construct and mount the named filesystem on ``platform``."""
-    image = PMImage(record=record)
-    if kind == "nova":
-        fs = NovaFS(platform, image)
-    elif kind == "nova-dma":
-        fs = NovaDmaFS(platform, image)
-    elif kind == "odinfs":
-        fs = OdinfsFS(platform, image,
-                      delegation_cores=kwargs.pop("delegation_cores", None))
-    elif kind == "easyio":
-        cm = kwargs.pop("channel_manager", None) or ChannelManager(platform)
-        fs = EasyIoFS(platform, image, channel_manager=cm)
-    elif kind == "naive":
-        cm = kwargs.pop("channel_manager", None) or ChannelManager(platform)
-        fs = NaiveAsyncFS(platform, image, channel_manager=cm)
-    else:
-        raise ValueError(f"unknown filesystem kind {kind!r}; "
-                         f"choose from {FS_KINDS}")
+def make_fs(kind: str, platform: Platform, record: bool = False,
+            image: Optional[PMImage] = None, **kwargs):
+    """Construct and mount the named filesystem on ``platform``.
+
+    ``kwargs`` are forwarded to the class's constructor when its
+    signature accepts them (e.g. ``delegation_cores`` for Odinfs,
+    ``channel_manager``/``fault_tolerant`` for EasyIO); anything the
+    constructor does not take raises TypeError.
+    """
+    cls = fs_class(kind)
+    if image is None:
+        image = PMImage(record=record)
+    params = inspect.signature(cls.__init__).parameters
+    ctor_kwargs = {name: kwargs.pop(name) for name in list(kwargs)
+                   if name in params}
     if kwargs:
         raise TypeError(f"unused arguments for {kind}: {sorted(kwargs)}")
-    return fs.mount()
+    return cls(platform, image, **ctor_kwargs).mount()
 
 
 def max_workers(kind: str, platform: Platform) -> int:

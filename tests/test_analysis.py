@@ -28,6 +28,33 @@ class TestLatencySeries:
         assert s.percentile(100) == 100
         assert s.p99() == pytest.approx(99.01)
 
+    def test_interleaved_records_and_queries(self):
+        # The sorted view is cached between queries and must be
+        # invalidated by every record() -- interleave appends with
+        # p50/p99 reads and check against a freshly sorted reference.
+        s = LatencySeries()
+        values = [50, 10, 90, 30, 70, 20, 80, 60, 40, 100]
+        for i, v in enumerate(values):
+            s.record(v)
+            ref = sorted(values[:i + 1])
+            r = LatencySeries()
+            for x in ref:
+                r.record(x)
+            assert s.p50() == pytest.approx(r.p50())
+            assert s.p99() == pytest.approx(r.p99())
+        assert s.percentile(100) == 100
+
+    def test_direct_append_to_samples_is_seen(self):
+        # Some call sites extend the public `samples` list directly;
+        # the cache must notice the length change.
+        s = LatencySeries()
+        s.record(10)
+        assert s.p50() == 10
+        s.samples.append(30)
+        assert s.p50() == pytest.approx(20)
+        s.samples.extend([50, 70])
+        assert s.percentile(100) == 70
+
     def test_percentile_bounds(self):
         s = LatencySeries()
         s.record(5)

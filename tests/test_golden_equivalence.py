@@ -1,0 +1,58 @@
+"""Golden equivalence: the refactored I/O pipeline is behaviour-preserving.
+
+``tests/data/golden_pre_refactor.json`` holds fixed-seed summary
+metrics (Figure 2 copy bandwidth, Figure 8 single-op latency and
+breakdowns, Figure 9 throughput/latency) captured at the last commit
+before the unified pipeline refactor.  The simulator is deterministic,
+so the refactored code must reproduce every number **exactly** -- any
+drift means the refactor changed the simulated event order, not just
+the code structure.
+
+Regenerate the golden file (only after an *intentional* behaviour
+change) with::
+
+    PYTHONPATH=src python tests/data/capture_golden.py
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.data.capture_golden import fig02, fig08, fig09
+
+GOLDEN = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "data", "golden_pre_refactor.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN) as f:
+        return json.load(f)
+
+
+def _assert_exact(actual, expected, label):
+    assert sorted(actual) == sorted(expected), \
+        f"{label}: key sets differ"
+    for key in expected:
+        assert actual[key] == expected[key], \
+            f"{label}[{key}]: {actual[key]!r} != golden {expected[key]!r}"
+
+
+@pytest.mark.slow
+def test_fig02_copy_bandwidth_exact(golden):
+    _assert_exact(fig02(), golden["fig02"], "fig02")
+
+
+@pytest.mark.slow
+def test_fig08_single_op_latency_exact(golden):
+    actual = fig08()
+    _assert_exact(actual, golden["fig08"], "fig08")
+    # The breakdown dicts nest one level deeper; spot-check shape.
+    sample = next(iter(actual.values()))
+    assert set(sample) == {"lat", "cpu", "breakdown"}
+
+
+@pytest.mark.slow
+def test_fig09_throughput_latency_exact(golden):
+    _assert_exact(fig09(), golden["fig09"], "fig09")
