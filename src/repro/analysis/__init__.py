@@ -9,6 +9,8 @@ each reproduced figure/table.
 from repro.analysis.metrics import (FaultStats, LatencySeries, OverloadStats,
                                     Timeline, ThroughputMeter)
 from repro.analysis.report import banner, fmt_counters, fmt_series, fmt_table
+from repro.analysis.sweep import (fxmark_point, fxmark_sweep, run_sweep,
+                                  summarize)
 
 __all__ = [
     "FaultStats",
@@ -20,4 +22,8 @@ __all__ = [
     "fmt_counters",
     "fmt_series",
     "fmt_table",
+    "fxmark_point",
+    "fxmark_sweep",
+    "run_sweep",
+    "summarize",
 ]

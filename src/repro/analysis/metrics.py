@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple
+
+#: When a percentile query finds at most this many samples recorded
+#: since the last sorted view, they are insorted incrementally; a
+#: larger backlog re-sorts from scratch (cheaper past this point).
+_INSORT_TAIL_MAX = 64
 
 
 @dataclass
@@ -84,22 +90,36 @@ class OverloadStats:
 class LatencySeries:
     """A collection of latency samples (ns) with percentile queries."""
 
+    __slots__ = ("name", "samples", "_sorted")
+
     def __init__(self, name: str = "latency"):
         self.name = name
         self.samples: List[int] = []
-        # Sorted view, computed lazily and invalidated on append, so
-        # interleaved record()/percentile() calls don't re-sort the
-        # whole series on every query.
+        # Sorted view, maintained lazily: a query after a few appends
+        # insorts just the new tail; a query after many appends (or
+        # the first ever) sorts from scratch.  Interleaved
+        # record()/percentile() loops therefore cost O(tail * log n)
+        # per query instead of O(n log n).
         self._sorted: Optional[List[int]] = None
 
     def record(self, ns: int) -> None:
         self.samples.append(ns)
-        self._sorted = None
 
     def _sorted_samples(self) -> List[int]:
-        # Length check catches direct appends to the public `samples`.
-        if self._sorted is None or len(self._sorted) != len(self.samples):
-            self._sorted = sorted(self.samples)
+        # The sorted view covers a prefix of `samples` (appends -- via
+        # record() or directly on the public list -- only grow the
+        # tail); its length tells how much is missing.
+        data = self._sorted
+        n = len(self.samples)
+        if data is not None:
+            delta = n - len(data)
+            if delta == 0:
+                return data
+            if 0 < delta <= _INSORT_TAIL_MAX:
+                for x in self.samples[n - delta:]:
+                    bisect.insort(data, x)
+                return data
+        self._sorted = sorted(self.samples)
         return self._sorted
 
     def __len__(self) -> int:

@@ -1,0 +1,99 @@
+"""Parallel sweep runner: many independent simulations, many cores.
+
+A parameter sweep (Figure 9's throughput-latency curves, Figure 12's
+throttling grid) is embarrassingly parallel: every point is a fresh
+:class:`~repro.workloads.fxmark.FxmarkConfig` run in its own engine,
+sharing nothing with its neighbours.  This module fans the points out
+over a ``multiprocessing`` pool.
+
+Determinism: each point's result depends only on its config (the
+simulator is seeded and single-threaded inside one engine), so the
+sweep output is byte-identical whether it runs serially, with two
+workers, or with twenty -- ``run_sweep`` preserves input order and
+tests/test_sweep.py pins this down.
+
+Workers are plain module-level functions (picklable) and results are
+plain dicts of floats/ints (cheap to ship back over the pipe --
+LatencySeries and friends stay in the worker).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.workloads.fxmark import FxmarkConfig, FxmarkResult
+
+# repro.workloads is imported inside the functions below:
+# repro.core.channel_manager imports this package's metrics module
+# while repro.core is still initialising, so a module-level workloads
+# import here would close an import cycle.
+
+
+def summarize(result: "FxmarkResult") -> dict:
+    """The canonical scalar summary of one sweep point.
+
+    Exactly the metric set the golden-equivalence suite pins, so a
+    sweep summary can be compared against ``golden_pre_refactor.json``
+    directly.
+    """
+    return {
+        "throughput_ops": result.throughput_ops,
+        "bandwidth_gbps": result.bandwidth_gbps,
+        "total_ops": result.total_ops,
+        "mean_us": result.mean_us,
+        "p99_us": result.p99_us,
+        "cpu_busy_fraction": result.cpu_busy_fraction,
+    }
+
+
+def fxmark_point(cfg: "FxmarkConfig") -> dict:
+    """Run one configuration and return its scalar summary.
+
+    Module-level so a multiprocessing pool can pickle it by reference.
+    """
+    from repro.workloads.fxmark import run_fxmark
+    return summarize(run_fxmark(cfg))
+
+
+def run_sweep(configs: Sequence["FxmarkConfig"],
+              processes: Optional[int] = None) -> List[dict]:
+    """Run every config, in input order, and return their summaries.
+
+    ``processes=None`` uses one worker per host CPU; ``processes<=1``
+    (or a single point) runs serially in this process -- same results
+    either way, the pool only changes wall-clock time.
+    """
+    configs = list(configs)
+    if processes is None:
+        processes = os.cpu_count() or 1
+    if processes <= 1 or len(configs) <= 1:
+        return [fxmark_point(cfg) for cfg in configs]
+    # fork (the Linux default) skips re-importing the simulator in
+    # every worker; chunksize=1 keeps long points from queueing behind
+    # one worker while others sit idle.
+    with multiprocessing.Pool(min(processes, len(configs))) as pool:
+        return pool.map(fxmark_point, configs, chunksize=1)
+
+
+def fxmark_sweep(kinds: Iterable[str], workers: Iterable[int],
+                 op: str = "write", io_size: int = 16384,
+                 duration_us: int = 1200, warmup_us: int = 300,
+                 elide: bool = False,
+                 processes: Optional[int] = None) -> Dict[str, dict]:
+    """The Figure 9 grid: ``{op}/{kind}/{workers}`` -> point summary.
+
+    ``elide=True`` runs every point in payload-elision mode (identical
+    summaries, less host work) -- the pure-performance default.
+    """
+    from repro.workloads.fxmark import FxmarkConfig
+    kinds = list(kinds)
+    workers = list(workers)
+    configs = [FxmarkConfig(kind=kind, op=op, io_size=io_size,
+                            workers=n, duration_us=duration_us,
+                            warmup_us=warmup_us, elide=elide)
+               for kind in kinds for n in workers]
+    keys = [f"{op}/{kind}/{n}" for kind in kinds for n in workers]
+    return dict(zip(keys, run_sweep(configs, processes=processes)))

@@ -34,8 +34,9 @@ class NovaDmaFS(NovaFS):
     #: we keep small copies on the CPU.
     OFFLOAD_THRESHOLD = 4096
 
-    def __init__(self, platform: Platform, image: Optional[PMImage] = None):
-        super().__init__(platform, image)
+    def __init__(self, platform: Platform, image: Optional[PMImage] = None,
+                 elide_payloads: bool = False):
+        super().__init__(platform, image, elide_payloads=elide_payloads)
         self.dma_writes = 0
         self.dma_reads = 0
         self.memcpy_ops = 0
@@ -47,13 +48,12 @@ class NovaDmaFS(NovaFS):
             IoPipeline,
             IoPlanner,
             OpCounters,
-            PagePersister,
             SyncReadPipeline,
             SyncWritePipeline,
         )
         planner = IoPlanner(self)
         backend = DmaPollBackend(self.platform.dma, self.model, self.memory,
-                                 PagePersister(self.image),
+                                 self._make_persister(),
                                  BusyPollCompletion(), OpCounters(self),
                                  offload_threshold=self.OFFLOAD_THRESHOLD)
         return IoPipeline(write=SyncWritePipeline(self, planner, backend),

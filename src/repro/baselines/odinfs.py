@@ -38,8 +38,9 @@ class OdinfsFS(NovaFS):
     name = "Odinfs"
 
     def __init__(self, platform: Platform, image: Optional[PMImage] = None,
-                 delegation_cores: Optional[List[Core]] = None):
-        super().__init__(platform, image)
+                 delegation_cores: Optional[List[Core]] = None,
+                 elide_payloads: bool = False):
+        super().__init__(platform, image, elide_payloads=elide_payloads)
         if delegation_cores is None:
             # Paper default: 12 reserved cores per NUMA node, taken from
             # the top of the core range so workers use the bottom.
@@ -72,7 +73,6 @@ class OdinfsFS(NovaFS):
             DelegationBackend,
             IoPipeline,
             IoPlanner,
-            PagePersister,
             ParkAndWakeCompletion,
             SyncReadPipeline,
             SyncWritePipeline,
@@ -80,7 +80,7 @@ class OdinfsFS(NovaFS):
         planner = IoPlanner(self)
         backend = DelegationBackend(self.engine, self.model, self.memory,
                                     self.delegation_cores,
-                                    PagePersister(self.image),
+                                    self._make_persister(),
                                     ParkAndWakeCompletion(self.model))
         return IoPipeline(write=SyncWritePipeline(self, planner, backend),
                           read=SyncReadPipeline(self, planner, backend),

@@ -92,8 +92,9 @@ class EasyIoFS(NovaFS):
     def __init__(self, platform: Platform, image: Optional[PMImage] = None,
                  channel_manager: Optional[ChannelManager] = None,
                  fault_tolerant: Optional[bool] = None,
-                 overload_stats: Optional[OverloadStats] = None):
-        super().__init__(platform, image)
+                 overload_stats: Optional[OverloadStats] = None,
+                 elide_payloads: bool = False):
+        super().__init__(platform, image, elide_payloads=elide_payloads)
         self.cm = channel_manager or ChannelManager(platform)
         #: Overload/deadline counters, shareable with the runtime's
         #: admission controller and watchdog.
@@ -141,8 +142,14 @@ class EasyIoFS(NovaFS):
     # ------------------------------------------------------------------
     def _build_pipeline(self) -> IoPipeline:
         planner = IoPlanner(self)
-        persister = VerifyingPagePersister(self.image, self.fault_stats,
-                                           rewrite_max=self.MEDIA_REWRITE_MAX)
+        if self.elide_payloads:
+            # Performance sweeps: no contents stored, no checksum
+            # read-back (_make_persister already rejects fault plans).
+            persister = self._make_persister()
+        else:
+            persister = VerifyingPagePersister(
+                self.image, self.fault_stats,
+                rewrite_max=self.MEDIA_REWRITE_MAX)
         backend = DmaAsyncBackend(self.cm, self.memory, persister,
                                   OpCounters(self))
         fallback = MemcpyBackend(self.memory, persister)

@@ -67,13 +67,19 @@ class OpContext:
 
     PHASES = ("metadata", "memcpy", "indexing", "syscall", "wait")
 
+    __slots__ = ("platform", "engine", "core", "record", "_breakdown",
+                 "cpu_ns", "started_at", "app", "lock_racing", "deadline",
+                 "force_sync")
+
     def __init__(self, platform: Platform, core=None, record: bool = True,
                  deadline: Optional[int] = None):
         self.platform = platform
         self.engine = platform.engine
         self.core = core
         self.record = record
-        self.breakdown: Dict[str, int] = {p: 0 for p in self.PHASES}
+        # The per-phase dict is built lazily: throughput runs create one
+        # context per op with record=False and never look at it.
+        self._breakdown: Optional[Dict[str, int]] = None
         self.cpu_ns = 0
         self.started_at = self.engine.now
         #: The issuing application's profile (QoS class), if any.
@@ -85,6 +91,14 @@ class OpContext:
         self.deadline = deadline
         #: Overload policy: force the synchronous (memcpy) data path.
         self.force_sync = False
+
+    @property
+    def breakdown(self) -> Dict[str, int]:
+        """Per-phase CPU accounting (Figure 1's categories)."""
+        bd = self._breakdown
+        if bd is None:
+            bd = self._breakdown = {p: 0 for p in self.PHASES}
+        return bd
 
     def remaining(self) -> Optional[int]:
         """Nanoseconds of budget left, or None when unbounded."""
@@ -133,13 +147,22 @@ class OpContext:
                     self.breakdown["wait"] += waited
                 self.cpu_ns += waited
 
-    def charge(self, phase: str, ns: int):
-        """Burn ``ns`` of CPU time attributed to ``phase``."""
-        if ns > 0:
-            yield self.engine.timeout(ns)
-            if self.record:
-                self.breakdown[phase] += ns
-            self.cpu_ns += ns
+    def charge(self, phase: str, ns: int) -> Event:
+        """Burn ``ns`` of CPU time attributed to ``phase``.
+
+        Returns the event to ``yield`` -- a pooled sleep, or the
+        engine's already-done no-op event when ``ns <= 0``.  The
+        accounting is applied eagerly (the totals are only read once
+        the operation has finished, so the order is unobservable) --
+        this keeps ``charge`` a plain call instead of a sub-generator
+        on the hottest path in the simulator.
+        """
+        if ns <= 0:
+            return self.engine.done
+        if self.record:
+            self.breakdown[phase] += ns
+        self.cpu_ns += ns
+        return self.engine.sleep(ns)
 
     def timed_cpu(self, phase: str, gen):
         """Run a sub-generator whose elapsed time is CPU time (memcpy)."""
@@ -197,12 +220,23 @@ class NovaFS:
 
     name = "NOVA"
 
-    def __init__(self, platform: Platform, image: Optional[PMImage] = None):
+    def __init__(self, platform: Platform, image: Optional[PMImage] = None,
+                 elide_payloads: bool = False):
         self.platform = platform
         self.engine = platform.engine
         self.model: CostModel = platform.model
         self.memory = platform.memory
         self.image = image if image is not None else PMImage()
+        #: Payload-elision mode: the data plane moves (and charges for)
+        #: the same bytes at the same instants, but no page contents are
+        #: stored -- for pure-performance sweeps only.  Incompatible
+        #: with recording images, fault plans, and writes that carry a
+        #: real payload (all guarded).
+        self.elide_payloads = elide_payloads
+        if elide_payloads and self.image.recording:
+            raise ValueError(
+                "payload elision cannot be combined with a recording "
+                "image: crash replay needs real page contents")
         self.allocator = PageAllocator(self.image)
         self._mem: Dict[int, MemInode] = {}
         self.ops_completed = 0
@@ -211,6 +245,18 @@ class NovaFS:
         # processes at construction time (Odinfs) build it eagerly at
         # the end of their own __init__, everyone else on first use.
         self._io = None
+
+    def _make_persister(self):
+        """The page persister matching this filesystem's mode."""
+        # Imported here: repro.io imports OpResult from this module.
+        from repro.io import ElidingPagePersister, PagePersister
+        if self.elide_payloads:
+            if self.image.fault_plan is not None:
+                raise ValueError(
+                    "payload elision cannot be combined with a fault "
+                    "plan: media-fault verification reads pages back")
+            return ElidingPagePersister(self.image)
+        return PagePersister(self.image)
 
     # ------------------------------------------------------------------
     # Mount / volatile state
@@ -257,7 +303,7 @@ class NovaFS:
         """Walk all but the last component; returns the parent directory."""
         cur = self.minode(ROOT_INO)
         for name in parts[:-1]:
-            yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+            yield ctx.charge("syscall", self.model.vfs_lookup_cost)
             child = cur.dentries.get(name)
             if child is None:
                 raise FsError(f"no such directory: {name!r}")
@@ -270,7 +316,7 @@ class NovaFS:
         """Resolve a path to an inode number (coroutine)."""
         parts = self._split(path)
         parent = yield from self._resolve_dir(ctx, parts)
-        yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+        yield ctx.charge("syscall", self.model.vfs_lookup_cost)
         ino = parent.dentries.get(parts[-1])
         if ino is None:
             raise FsError(f"no such file: {path!r}")
@@ -281,18 +327,18 @@ class NovaFS:
     # ------------------------------------------------------------------
     def create(self, ctx: OpContext, path: str, kind: FileKind = FileKind.FILE):
         """Create a file (or directory); returns its inode number."""
-        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield ctx.charge("syscall", self.model.syscall_cost)
         parts = self._split(path)
         parent = yield from self._resolve_dir(ctx, parts)
         name = parts[-1]
         yield from ctx.idle_wait(parent.lock.acquire_write())
         try:
-            yield from ctx.charge("syscall", self.model.lock_cost)
+            yield ctx.charge("syscall", self.model.lock_cost)
             if name in parent.dentries:
                 raise FsError(f"already exists: {path!r}")
             ino = self.image.alloc_ino()
             links = 2 if kind is FileKind.DIR else 1
-            yield from ctx.charge("metadata", self.model.log_append_cost)
+            yield ctx.charge("metadata", self.model.log_append_cost)
             self.image.put_inode(ino, Inode(ino, kind, links, self.engine.now))
             yield from self._append_commit(
                 ctx, parent,
@@ -312,13 +358,13 @@ class NovaFS:
 
     def unlink(self, ctx: OpContext, path: str):
         """Remove a name; frees the inode when its link count drops to 0."""
-        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield ctx.charge("syscall", self.model.syscall_cost)
         parts = self._split(path)
         parent = yield from self._resolve_dir(ctx, parts)
         name = parts[-1]
         yield from ctx.idle_wait(parent.lock.acquire_write())
         try:
-            yield from ctx.charge("syscall", self.model.lock_cost)
+            yield ctx.charge("syscall", self.model.lock_cost)
             ino = parent.dentries.get(name)
             if ino is None:
                 raise FsError(f"no such file: {path!r}")
@@ -334,7 +380,7 @@ class NovaFS:
                                      and target.links <= 1):
                 yield from self._drop_inode(ctx, target)
             else:
-                yield from ctx.charge("metadata", self.model.log_append_cost)
+                yield ctx.charge("metadata", self.model.log_append_cost)
                 self.image.put_inode(ino, Inode(ino, target.kind, target.links,
                                                 self.engine.now))
         finally:
@@ -343,7 +389,7 @@ class NovaFS:
 
     def link(self, ctx: OpContext, existing: str, new: str):
         """Hard-link ``existing`` at ``new``."""
-        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield ctx.charge("syscall", self.model.syscall_cost)
         ino = yield from self.lookup(ctx, existing)
         target = self.minode(ino)
         if target.kind is FileKind.DIR:
@@ -361,7 +407,7 @@ class NovaFS:
                             mtime=self.engine.now))
             parent.dentries[name] = ino
             target.links += 1
-            yield from ctx.charge("metadata", self.model.log_append_cost)
+            yield ctx.charge("metadata", self.model.log_append_cost)
             self.image.put_inode(ino, Inode(ino, target.kind, target.links,
                                             self.engine.now))
         finally:
@@ -370,7 +416,7 @@ class NovaFS:
 
     def rename(self, ctx: OpContext, old: str, new: str):
         """Atomically move ``old`` to ``new`` (journaled, NOVA-style)."""
-        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield ctx.charge("syscall", self.model.syscall_cost)
         old_parts, new_parts = self._split(old), self._split(new)
         src_dir = yield from self._resolve_dir(ctx, old_parts)
         dst_dir = yield from self._resolve_dir(ctx, new_parts)
@@ -386,7 +432,7 @@ class NovaFS:
             if ino is None:
                 raise FsError(f"no such file: {old!r}")
             target = self.minode(ino)
-            yield from ctx.charge("metadata", self.model.journal_cost)
+            yield ctx.charge("metadata", self.model.journal_cost)
             self.image.journal_begin(RenameTxn(src_dir.ino, src_name,
                                                dst_dir.ino, dst_name,
                                                ino, target.kind))
@@ -415,15 +461,15 @@ class NovaFS:
 
     def stat(self, ctx: OpContext, path: str):
         """Return ``(ino, kind, size, mtime, links)``."""
-        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield ctx.charge("syscall", self.model.syscall_cost)
         ino = yield from self.lookup(ctx, path)
         m = self.minode(ino)
-        yield from ctx.charge("metadata", self.model.timestamp_update_cost)
+        yield ctx.charge("metadata", self.model.timestamp_update_cost)
         return (m.ino, m.kind, m.size, m.mtime, m.links)
 
     def truncate(self, ctx: OpContext, ino: int, size: int):
         """Set the file size, dropping whole pages beyond it."""
-        yield from ctx.charge("syscall", self.model.syscall_cost)
+        yield ctx.charge("syscall", self.model.syscall_cost)
         m = self.minode(ino)
         yield from ctx.idle_wait(m.lock.acquire_write())
         try:
@@ -433,6 +479,7 @@ class NovaFS:
             first_dead = (size + PAGE_SIZE - 1) // PAGE_SIZE
             dead = [off for off in m.index if off >= first_dead]
             freed = [m.index.pop(off).page_id for off in dead]
+            m.bump_layout_epoch()
             self.allocator.free(freed)
             m.size = size
             m.mtime = self.engine.now
@@ -441,16 +488,16 @@ class NovaFS:
         self.ops_completed += 1
 
     def _drop_inode(self, ctx: OpContext, m: MemInode):
-        yield from ctx.charge("metadata", self.model.log_append_cost)
+        yield ctx.charge("metadata", self.model.log_append_cost)
         self.allocator.free([pm.page_id for pm in m.index.values()])
         self.image.drop_inode(m.ino)
         self._mem.pop(m.ino, None)
 
     def _append_commit(self, ctx: OpContext, m: MemInode, entry) :
         """Append one log entry and commit the tail (the durability point)."""
-        yield from ctx.charge("metadata", self.model.log_append_cost)
+        yield ctx.charge("metadata", self.model.log_append_cost)
         idx = self.image.append_log(m.ino, entry)
-        yield from ctx.charge("metadata", self.model.log_commit_cost)
+        yield ctx.charge("metadata", self.model.log_commit_cost)
         self.image.commit_log_tail(m.ino, idx + 1)
         return idx
 
@@ -467,10 +514,17 @@ class NovaFS:
         """
         if payload is not None and len(payload) != nbytes:
             raise FsError(f"payload length {len(payload)} != nbytes {nbytes}")
+        if payload is not None and self.elide_payloads:
+            raise FsError(
+                "this filesystem elides payloads: a real payload would be "
+                "silently dropped (mount without elide_payloads to keep data)")
         if nbytes < 0 or offset < 0:
             raise FsError("negative offset/size")
-        yield from ctx.charge("syscall", self.model.syscall_cost)
-        yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+        # One event for both entry costs: nothing observable happens
+        # between the syscall and VFS-lookup charges, so merging them
+        # halves the hot path's entry events.
+        yield ctx.charge("syscall",
+                         self.model.syscall_cost + self.model.vfs_lookup_cost)
         m = self.minode(ino)
         if m.kind is not FileKind.FILE:
             raise FsError(f"not a regular file: inode {ino}")
@@ -521,10 +575,11 @@ class NovaFS:
                            size_after=prep.size_after, mtime=self.engine.now,
                            sns=sns)
         idx = yield from self._append_commit(ctx, m, entry)
-        yield from ctx.charge("indexing",
+        yield ctx.charge("indexing",
                               self.model.index_insert_cost * len(prep.page_ids))
         for i, pid in enumerate(prep.page_ids):
             m.index[prep.pgoff + i] = PageMapping(pid, sns)
+        m.bump_layout_epoch()
         m.size = prep.size_after
         m.mtime = entry.mtime
         if free_on is None or free_on.processed:
@@ -543,8 +598,11 @@ class NovaFS:
         whose value is the byte count (or the bytes, if ``want_data``)."""
         if nbytes < 0 or offset < 0:
             raise FsError("negative offset/size")
-        yield from ctx.charge("syscall", self.model.syscall_cost)
-        yield from ctx.charge("syscall", self.model.vfs_lookup_cost)
+        # One event for both entry costs: nothing observable happens
+        # between the syscall and VFS-lookup charges, so merging them
+        # halves the hot path's entry events.
+        yield ctx.charge("syscall",
+                         self.model.syscall_cost + self.model.vfs_lookup_cost)
         m = self.minode(ino)
         if m.kind is not FileKind.FILE:
             raise FsError(f"not a regular file: inode {ino}")
@@ -580,9 +638,11 @@ class NovaFS:
             pgoff = offset // PAGE_SIZE
             last = (offset + nbytes - 1) // PAGE_SIZE
             npages = last - pgoff + 1
-            yield from ctx.charge("indexing",
+            yield ctx.charge("indexing",
                                   self.model.index_lookup_cost * npages)
-            runs = [(off, pages) for off, pages in m.extent_runs(pgoff, npages)]
+            # The charge stays per-page (the simulated radix walk); only
+            # the host-side recomputation is memoised.
+            runs = m.cached_runs(pgoff, npages)
         except BaseException:
             # The zero-byte branch returns right after releasing, so
             # reaching here means the read lock is still held.
@@ -632,7 +692,7 @@ class NovaFS:
             yield from ctx.idle_wait(event)
         except WaitTimeout as exc:
             raise DeadlineExceeded(f"file lock ino{m.ino}: {exc}") from exc
-        yield from ctx.charge("syscall", self.model.lock_cost)
+        yield ctx.charge("syscall", self.model.lock_cost)
         contended = (self.engine.now > t0) or racing
         ctx.lock_racing = max(1, racing) if contended else 0
 
@@ -640,7 +700,7 @@ class NovaFS:
         """Pay the contended-handoff cost on the holder's critical path
         (first touches of the bounced metadata cachelines)."""
         if ctx.lock_racing:
-            yield from ctx.charge(
+            yield ctx.charge(
                 "syscall", self.model.lock_contended_cost * ctx.lock_racing)
             ctx.lock_racing = 0
 
@@ -662,12 +722,11 @@ class NovaFS:
             IoPipeline,
             IoPlanner,
             MemcpyBackend,
-            PagePersister,
             SyncReadPipeline,
             SyncWritePipeline,
         )
         planner = IoPlanner(self)
-        backend = MemcpyBackend(self.memory, PagePersister(self.image))
+        backend = MemcpyBackend(self.memory, self._make_persister())
         return IoPipeline(write=SyncWritePipeline(self, planner, backend),
                           read=SyncReadPipeline(self, planner, backend),
                           planner=planner)

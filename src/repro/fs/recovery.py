@@ -85,6 +85,7 @@ def recover(fs, sn_validator: Optional[SnValidator] = None):
                     break
                 for i, pid in enumerate(entry.page_ids):
                     m.index[entry.pgoff + i] = PageMapping(pid, entry.sns)
+                m.bump_layout_epoch()
                 m.size = entry.size_after
                 m.mtime = entry.mtime
             elif isinstance(entry, SetAttrEntry):
@@ -93,6 +94,7 @@ def recover(fs, sn_validator: Optional[SnValidator] = None):
                 first_dead = (entry.size + PAGE_SIZE - 1) // PAGE_SIZE
                 for off in [o for o in m.index if o >= first_dead]:
                     del m.index[off]
+                m.bump_layout_epoch()
             elif isinstance(entry, DentryEntry):
                 if entry.valid:
                     m.dentries[entry.name] = entry.ino

@@ -16,10 +16,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
+
+#: Per-inode read-plan memo entries kept before the cache is reset
+#: (rotating-offset benchmarks revisit a small set of ranges; an
+#: unbounded cache would leak on adversarial access patterns).
+_RUNS_CACHE_MAX = 1024
 
 
 class FileKind(enum.Enum):
@@ -98,12 +103,14 @@ class RenameTxn:
     kind: FileKind
 
 
-@dataclass
+@dataclass(slots=True)
 class PageMapping:
     """Volatile block-mapping slot: one file page -> physical page.
 
     ``sns`` mirrors the owning :class:`WriteEntry`; EasyIO's two-level
     locking consults it to decide whether the page's data has landed.
+    (``slots=True``: benchmarks create one per written page, millions
+    per sweep.)
     """
 
     page_id: int
@@ -136,6 +143,18 @@ class MemInode:
     pending_done: Optional[object] = None
     # Assigned lazily by the filesystem (a sim Lock needs the engine).
     lock: Optional[object] = None
+    #: Bumped on every block-mapping change (write commit, truncate,
+    #: recovery rebuild); read-plan memo entries from older epochs are
+    #: dead.  Purely a performance device -- never persisted.
+    layout_epoch: int = 0
+    #: (pgoff, npages) -> cached extent-run list for ``layout_epoch``.
+    _runs_cache: Dict[Tuple[int, int], list] = field(
+        default_factory=dict, repr=False)
+
+    def bump_layout_epoch(self) -> None:
+        """Invalidate cached read plans after a block-mapping change."""
+        self.layout_epoch += 1
+        self._runs_cache.clear()
 
     def extent_runs(self, pgoff: int, npages: int):
         """Yield ``(pgoff, [page_ids...])`` runs of physically
@@ -148,3 +167,21 @@ class MemInode:
         # Imported here: repro.io pulls in modules that import this one.
         from repro.io.plan import extent_runs
         yield from extent_runs(self.index, pgoff, npages)
+
+    def cached_runs(self, pgoff: int, npages: int) -> List[tuple]:
+        """Memoised :meth:`extent_runs`, valid for this layout epoch.
+
+        The returned list (and its nested page lists) is shared between
+        calls: the read pipelines only iterate it.  Rotating-offset
+        benchmarks revisit the same (offset, length) ranges millions of
+        times against an unchanged mapping, so this removes the radix
+        walk from the read hot path.
+        """
+        key = (pgoff, npages)
+        runs = self._runs_cache.get(key)
+        if runs is None:
+            if len(self._runs_cache) >= _RUNS_CACHE_MAX:
+                self._runs_cache.clear()
+            runs = list(self.extent_runs(pgoff, npages))
+            self._runs_cache[key] = runs
+        return runs

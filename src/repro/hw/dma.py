@@ -206,7 +206,7 @@ class DmaChannel:
             raise ValueError(
                 f"batch of {len(descriptors)} exceeds max {self.model.dma_batch_max}")
         prep = self.model.dma_desc_prep_cost * len(descriptors)
-        yield self.engine.timeout(prep + self.model.dma_doorbell_cost)
+        yield self.engine.sleep(prep + self.model.dma_doorbell_cost)
         for i, desc in enumerate(descriptors):
             desc.pipelined = i > 0
             desc.done = self.engine.event()
@@ -326,11 +326,11 @@ class DmaChannel:
             self._pipeline_next = len(self._ring) > 0
             overhead = (model.dma_desc_overhead_batched if pipelined
                         else model.dma_desc_overhead)
-            yield self.engine.timeout(overhead)
+            yield self.engine.sleep(overhead)
             fault = (self.fault_plan.descriptor_fault(self, desc)
                      if self.fault_plan is not None else None)
             if fault is not None:
-                yield self.engine.timeout(model.dma_error_latency)
+                yield self.engine.sleep(model.dma_error_latency)
                 self._fail_descriptor(desc, fault)
                 if self._halted:
                     yield self._halt_gate.wait()
@@ -351,7 +351,7 @@ class DmaChannel:
             finally:
                 if owner is not None:
                     owner.release_share()
-            yield self.engine.timeout(model.dma_completion_write_cost)
+            yield self.engine.sleep(model.dma_completion_write_cost)
             if desc.on_complete is not None:
                 desc.on_complete(desc)
             # Jump to this descriptor's SN: identical to +1 in FIFO

@@ -41,7 +41,11 @@ from repro.io.middleware import (
     OpCounters,
     SupervisionPolicy,
 )
-from repro.io.persist import PagePersister, VerifyingPagePersister
+from repro.io.persist import (
+    ElidingPagePersister,
+    PagePersister,
+    VerifyingPagePersister,
+)
 from repro.io.pipeline import (
     AsyncReadPipeline,
     IoPipeline,
@@ -76,6 +80,7 @@ __all__ = [
     "DmaAsyncBackend",
     "DmaJob",
     "DmaPollBackend",
+    "ElidingPagePersister",
     "Extent",
     "FaultSupervisor",
     "IoPipeline",

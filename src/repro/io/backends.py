@@ -279,7 +279,7 @@ class DelegationBackend(CopyBackend):
         events = []
         for size in sizes:
             # Dispatch costs the app thread a ring enqueue per chunk.
-            yield from ctx.charge("memcpy",
+            yield ctx.charge("memcpy",
                                   self.model.delegation_dispatch_cost)
             thread = self.threads[self._rr % len(self.threads)]
             self._rr += 1

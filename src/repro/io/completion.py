@@ -60,7 +60,7 @@ class ParkAndWakeCompletion(CompletionStrategy):
         engine = ctx.engine
         t0 = engine.now
         yield from ctx.idle_wait(engine.all_of(events))
-        yield from ctx.charge("syscall", self.model.kernel_wakeup_cost)
+        yield ctx.charge("syscall", self.model.kernel_wakeup_cost)
         if ctx.record:
             ctx.breakdown["wait"] += engine.now - t0
 

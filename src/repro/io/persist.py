@@ -16,6 +16,9 @@ from repro.fs.pmimage import ELIDED
 class PagePersister:
     """Record new page contents as durable (data landed)."""
 
+    #: Whether this persister discards payloads (see ElidingPagePersister).
+    elides = False
+
     def __init__(self, image):
         self.image = image
 
@@ -29,6 +32,35 @@ class PagePersister:
         def _persist(_desc):
             self.persist(pids, contents)
         return _persist
+
+
+class ElidingPagePersister(PagePersister):
+    """Count pages as durable without storing any contents.
+
+    The payload-elision persister for pure-performance sweeps: payloads
+    are never inspected by throughput/latency figures, and the
+    simulated *timing* of persistence is unchanged (persisting is
+    synchronous bookkeeping at the completion instant -- it schedules
+    no events and charges no time), so every measured quantity is
+    byte-identical with or without it.  It must never be combined with
+    recording images (crash replay needs the page store) or fault
+    plans (media-fault verification reads pages back) -- the pipeline
+    builders guard for that.
+    """
+
+    #: Lets backends skip assembling per-chunk content lists.
+    elides = True
+
+    def __init__(self, image):
+        super().__init__(image)
+        self.pages_persisted = 0
+
+    def persist(self, pids, contents) -> None:
+        self.pages_persisted += len(pids)
+
+    def on_complete(self, pids, contents):
+        """None: the DMA completion path skips absent callbacks."""
+        return None
 
 
 class VerifyingPagePersister(PagePersister):

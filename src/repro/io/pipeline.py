@@ -95,7 +95,7 @@ class SyncReadPipeline:
             plan = self.planner.read_plan_from_runs(m.ino, offset, nbytes,
                                                     runs)
             yield from self.backend.read(ctx, plan)
-            yield from ctx.charge("metadata",
+            yield ctx.charge("metadata",
                                   fs.model.timestamp_update_cost)
             value = (fs._collect_data(m, offset, nbytes)
                      if want_data else nbytes)
@@ -226,7 +226,7 @@ class OrderedAsyncWritePipeline:
         def commit_syscall(ctx2):
             # Second interaction with the filesystem (§3): metadata
             # commit once the data I/O has finished.
-            yield from ctx2.charge("syscall", fs.model.syscall_cost)
+            yield ctx2.charge("syscall", fs.model.syscall_cost)
             try:
                 yield from fs._commit_write(ctx2, m, prep, sns=())
             finally:
@@ -265,7 +265,7 @@ class AsyncReadPipeline:
             plan = self.planner.read_plan_from_runs(m.ino, offset, nbytes,
                                                     runs)
             jobs = yield from self.backend.read(ctx, plan, force_sync)
-            yield from ctx.charge("metadata",
+            yield ctx.charge("metadata",
                                   fs.model.timestamp_update_cost)
             value = (fs._collect_data(m, offset, nbytes)
                      if want_data else nbytes)

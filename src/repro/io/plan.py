@@ -31,8 +31,15 @@ def contiguous_runs(page_ids: Sequence[int],
     physically contiguous run of destination pages.  ``contents`` may
     be omitted when only the run shapes matter.
     """
+    n = len(page_ids)
+    # Fast path: freshly allocated pages are almost always one fully
+    # consecutive run -- skip the element-wise grouping loop.
+    if n and page_ids[-1] - page_ids[0] == n - 1 \
+            and list(page_ids) == list(range(page_ids[0], page_ids[0] + n)):
+        return [(list(page_ids),
+                 list(contents) if contents is not None else [None] * n)]
     if contents is None:
-        contents = [None] * len(page_ids)
+        contents = [None] * n
     runs: List[Tuple[list, list]] = []
     cur_ids: list = []
     cur_contents: list = []
@@ -49,6 +56,10 @@ def contiguous_runs(page_ids: Sequence[int],
 
 def run_sizes(page_ids: Sequence[int]) -> List[int]:
     """Bytes per physically contiguous run of ``page_ids``."""
+    n = len(page_ids)
+    if n and page_ids[-1] - page_ids[0] == n - 1 \
+            and list(page_ids) == list(range(page_ids[0], page_ids[0] + n)):
+        return [n * PAGE_SIZE]
     return [len(ids) * PAGE_SIZE for ids, _ in contiguous_runs(page_ids)]
 
 
@@ -190,7 +201,7 @@ class IoPlanner:
         pgoff = offset // PAGE_SIZE
         last = (offset + nbytes - 1) // PAGE_SIZE
         npages = last - pgoff + 1
-        yield from ctx.charge(
+        yield ctx.charge(
             "metadata",
             fs.model.block_alloc_cost
             + fs.model.block_alloc_page_cost * npages)

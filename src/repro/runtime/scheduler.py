@@ -87,7 +87,7 @@ class CoreScheduler:
             self.core.mark_busy(ut.name)
             try:
                 if stolen:
-                    yield self.engine.timeout(model.work_steal_cost)
+                    yield self.engine.sleep(model.work_steal_cost)
                 yield from self._run(ut)
             finally:
                 # A uthread blocked in-kernel (idle_wait) may have
@@ -112,11 +112,11 @@ class CoreScheduler:
     def _run(self, ut: Uthread):
         model = self.runtime.platform.model
         self.switches += 1
-        yield self.engine.timeout(model.uthread_switch_cost)
+        yield self.engine.sleep(model.uthread_switch_cost)
         ut.state = UthreadState.RUNNING
         # A Naive-EasyIO style deferred second syscall (metadata commit
         # after DMA completion) runs before the uthread resumes.
-        if getattr(ut, "pending_continuation", None) is not None:
+        if ut.pending_continuation is not None:
             make, result = ut.pending_continuation
             ut.pending_continuation = None
             ctx = OpContext(self.runtime.platform, core=self.core,
@@ -147,7 +147,7 @@ class CoreScheduler:
                 raise
             value = None
             if isinstance(effect, Compute):
-                yield self.engine.timeout(effect.ns)
+                yield self.engine.sleep(effect.ns)
             elif isinstance(effect, Yield):
                 ut.state = UthreadState.RUNNABLE
                 self.fresh_q.append(ut)
@@ -157,7 +157,7 @@ class CoreScheduler:
             elif isinstance(effect, Sleep):
                 ut.state = UthreadState.PARKED
                 home = self
-                wake = self.engine.timeout(effect.ns)
+                wake = self.engine.sleep(effect.ns)
                 wake.add_callback(lambda _e, u=ut: home.enqueue(u))
                 return
             elif isinstance(effect, Syscall):
@@ -167,7 +167,7 @@ class CoreScheduler:
                 if verdict == "reject":
                     # Turned away at the gate: the syscall entry was
                     # still paid, then the error surfaces in the app.
-                    yield self.engine.timeout(model.syscall_cost)
+                    yield self.engine.sleep(model.syscall_cost)
                     throw = OverloadRejected(
                         f"syscall by {ut.name} rejected under overload")
                     continue
@@ -189,12 +189,12 @@ class CoreScheduler:
                     elif isinstance(exc, WaitTimeout):
                         stats.timeouts += 1
                     ut.syscalls += 1
-                    yield self.engine.timeout(model.completion_poll_cost)
+                    yield self.engine.sleep(model.completion_poll_cost)
                     throw = exc
                     continue
                 ut.syscalls += 1
                 # Returning from the kernel: poll completion buffers.
-                yield self.engine.timeout(model.completion_poll_cost)
+                yield self.engine.sleep(model.completion_poll_cost)
                 if result is not None and getattr(result, "is_async", False):
                     ut.state = UthreadState.PARKED
                     ut.io_parked = True

@@ -27,6 +27,11 @@ class Uthread:
 
     _seq = 0
 
+    __slots__ = ("uid", "engine", "body", "name", "state", "deadline",
+                 "priority", "watchdog_flagged", "home", "resume_value",
+                 "done", "io_parked", "pending_continuation", "spawned_at",
+                 "finished_at", "syscalls", "parks", "steals")
+
     def __init__(self, engine: Engine, body: Generator,
                  name: Optional[str] = None,
                  deadline: Optional[int] = None, priority: int = 0):
@@ -54,6 +59,9 @@ class Uthread:
         self.done: Event = engine.event()
         #: True once parked because of async I/O (vs a timer sleep).
         self.io_parked = False
+        #: Deferred second syscall ``(make, result)`` to run before the
+        #: next resume (Naive-EasyIO metadata commit, see scheduler).
+        self.pending_continuation: Optional[tuple] = None
         # Statistics.
         self.spawned_at = engine.now
         self.finished_at: Optional[int] = None

@@ -6,6 +6,24 @@ The engine keeps a priority queue of scheduled events ordered by
 is waiting on fires.  Time is an integer number of nanoseconds, which
 keeps arithmetic exact and traces reproducible.
 
+Hot-path design (the engine is the throughput ceiling for every
+figure sweep, so the representation is tuned without changing the
+``(time, sequence)`` firing order):
+
+* Heap entries are ``(key, event)`` 2-tuples with the integer key
+  ``(when << 40) | seq`` -- one C-level int comparison per sift step
+  instead of lexicographic tuple comparison, and one less tuple field
+  of churn.  ``seq`` is globally unique and bounded below ``2**40``
+  (guarded), so the int order *is* the ``(when, seq)`` order.
+* :meth:`Engine.sleep` hands out pooled one-shot timer events for the
+  fire-and-forget delays that dominate simulations (CPU cost charges,
+  scheduler switch costs, device service delays).  See its docstring
+  for the (strict) usage contract.
+* Cancelled events already in the heap are counted and the heap is
+  lazily compacted once they dominate, so cancel-heavy overload runs
+  do not drag dead entries through every ``heappop`` forever.
+* :class:`AnyOf`/:class:`AllOf` fast-path the 1-event case.
+
 Example
 -------
 >>> eng = Engine()
@@ -22,6 +40,7 @@ Example
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -57,6 +76,41 @@ _TRIGGERED = 1  # scheduled to fire, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
 _CANCELLED = 3  # withdrawn; callbacks will never run
 
+#: Heap keys pack (when, seq) as ``(when << _TIME_SHIFT) | seq``.
+_TIME_SHIFT = 40
+_SEQ_LIMIT = 1 << _TIME_SHIFT
+
+#: Compaction policy: rebuild the heap when more than this many
+#: cancelled entries are queued *and* they outnumber the live ones.
+_COMPACT_MIN_DEAD = 64
+
+
+class EngineStats:
+    """Counters the engine maintains about its own operation.
+
+    ``events_fired`` counts processed events, ``events_cancelled``
+    counts :meth:`Event.cancel` calls that performed a cancellation,
+    and ``heap_compactions`` counts lazy rebuilds of the schedule heap
+    (each one evicts the cancelled entries accumulated so far).
+    ``sleeps_reused`` counts pooled :meth:`Engine.sleep` recycles.
+    """
+
+    __slots__ = ("events_fired", "events_cancelled", "heap_compactions",
+                 "sleeps_reused")
+
+    def __init__(self):
+        self.events_fired = 0
+        self.events_cancelled = 0
+        self.heap_compactions = 0
+        self.sleeps_reused = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<EngineStats {inner}>"
+
 
 class Event:
     """A happening in simulated time that processes can wait on.
@@ -67,7 +121,7 @@ class Event:
     *processed* and its value is frozen.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_state")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_state", "_when")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -107,10 +161,16 @@ class Event:
         """Trigger the event successfully with ``value``."""
         if self._state != _PENDING:
             raise SimulationError(f"{self!r} already triggered")
-        self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.engine._schedule(self)
+        # Inlined _schedule(self, 0): succeed() is the hottest trigger.
+        engine = self.engine
+        seq = engine._seq + 1
+        if seq >= _SEQ_LIMIT:  # pragma: no cover - 2**40 events
+            raise SimulationError("event sequence space exhausted")
+        engine._seq = seq
+        self._when = now = engine._now
+        heapq.heappush(engine._queue, ((now << _TIME_SHIFT) | seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -141,12 +201,23 @@ class Event:
 
         Returns True if this call performed the cancellation.
         """
-        if self._state == _CANCELLED:
+        state = self._state
+        if state == _CANCELLED:
             return False
-        if self._state == _PROCESSED:
+        if state == _PROCESSED:
             raise SimulationError(f"cannot cancel processed event {self!r}")
         self._state = _CANCELLED
         self.callbacks = None
+        engine = self.engine
+        engine._stats.events_cancelled += 1
+        if state == _TRIGGERED:
+            # The entry stays in the schedule heap; count it and
+            # compact lazily once dead entries dominate.
+            dead = engine._heap_dead + 1
+            engine._heap_dead = dead
+            if (dead > _COMPACT_MIN_DEAD
+                    and dead * 2 > len(engine._queue)):
+                engine._compact()
         return True
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -156,9 +227,10 @@ class Event:
         immediately (still at the current simulation time).  Adding a
         callback to a cancelled event is a no-op.
         """
-        if self._state == _PROCESSED:
+        state = self._state
+        if state == _PROCESSED:
             fn(self)
-        elif self._state == _CANCELLED:
+        elif state == _CANCELLED:
             return
         else:
             assert self.callbacks is not None
@@ -193,9 +265,18 @@ class Timeout(Event):
         super().__init__(engine)
         self.delay = delay
         self._value = value
-        self._ok = True
         self._state = _TRIGGERED
         engine._schedule(self, delay)
+
+
+class _PooledSleep(Event):
+    """A recyclable one-shot timer (see :meth:`Engine.sleep`).
+
+    Recognised by exact type in the run loop and returned to the
+    engine's pool right after its callbacks run.
+    """
+
+    __slots__ = ()
 
 
 class AnyOf(Event):
@@ -224,8 +305,20 @@ class AnyOf(Event):
         if not self.events:
             self.succeed({})
             return
+        if len(self.events) == 1:
+            # Fast path: a 1-event race has no losers to detach.
+            self.events[0].add_callback(self._on_fire_single)
+            return
         for ev in self.events:
             ev.add_callback(self._on_fire)
+
+    def _on_fire_single(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed({event: event._value})
 
     def _on_fire(self, event: Event) -> None:
         if self._state != _PENDING:
@@ -263,8 +356,19 @@ class AllOf(Event):
         if self._remaining == 0:
             self.succeed({})
             return
+        if self._remaining == 1:
+            self.events[0].add_callback(self._on_fire_single)
+            return
         for ev in self.events:
             ev.add_callback(self._on_fire)
+
+    def _on_fire_single(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed({event: event._value})
 
     def _on_fire(self, event: Event) -> None:
         if self._state != _PENDING:
@@ -286,7 +390,8 @@ class Process(Event):
     becomes the process event's value.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on", "_interrupts")
+    __slots__ = ("generator", "name", "_waiting_on", "_interrupts",
+                 "_resume_cb")
 
     def __init__(self, engine: "Engine", generator: Generator,
                  name: Optional[str] = None):
@@ -299,10 +404,12 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         self._interrupts: list = []
-        # Bootstrap: resume once at the current time.
-        init = Event(engine)
-        init.succeed(None)
-        init.add_callback(self._resume)
+        # One bound method for the life of the process instead of a
+        # fresh one per wait (the single hottest callback).
+        self._resume_cb = self._resume
+        # Bootstrap: resume once at the current time (a pooled zero
+        # sleep schedules exactly like the old succeed()-ed event).
+        engine.sleep(0).add_callback(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -314,19 +421,17 @@ class Process(Event):
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         self._interrupts.append(Interrupt(cause))
-        wakeup = Event(self.engine)
-        wakeup.succeed(None)
-        wakeup.add_callback(self._resume)
+        self.engine.sleep(0).add_callback(self._resume_cb)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._state != _PENDING:
             return
         # Ignore stale wakeups: if we are waiting on some other event and
         # this resume is not an interrupt delivery, drop it.
-        if (self._waiting_on is not None and event is not self._waiting_on
+        waited = self._waiting_on
+        if (waited is not None and event is not waited
                 and not self._interrupts):
             return
-        waited = self._waiting_on
         self._waiting_on = None
         try:
             if self._interrupts:
@@ -339,14 +444,17 @@ class Process(Event):
                 target = self.generator.send(event._value if event is waited else None)
         except StopIteration as stop:
             self.succeed(stop.value)
+            self._resume_cb = None  # break the self-reference cycle
             return
         except Interrupt as exc:
             self.fail(exc)
+            self._resume_cb = None
             return
         except BaseException as exc:
             # Propagate to waiters; if nobody is waiting, _process_callbacks
             # re-raises so the failure is never silent.
             self.fail(exc)
+            self._resume_cb = None
             return
         if not isinstance(target, Event):
             self.fail(SimulationError(
@@ -357,7 +465,7 @@ class Process(Event):
                 f"process {self.name!r} yielded event from another engine"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
 
 class Engine:
@@ -369,16 +477,49 @@ class Engine:
         Current simulated time in nanoseconds.
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active", "_sleep_pool",
+                 "_heap_dead", "_stats", "_done")
+
     def __init__(self):
         self._now: int = 0
         self._queue: list = []
         self._seq: int = 0
         self._active = False
+        self._sleep_pool: list = []
+        #: Cancelled entries currently sitting in the schedule heap.
+        self._heap_dead: int = 0
+        self._stats = EngineStats()
+        # A permanently-processed no-op event (see the `done` property).
+        done = Event(self)
+        done._state = _PROCESSED
+        done.callbacks = None
+        self._done = done
 
     @property
     def now(self) -> int:
         """Current simulated time (ns)."""
         return self._now
+
+    @property
+    def stats(self) -> EngineStats:
+        """Counters: events fired / cancelled, heap compactions, ..."""
+        return self._stats
+
+    @property
+    def done(self) -> Event:
+        """A shared, already-processed no-op event with value None.
+
+        Yielding it resumes the process immediately (still at the
+        current time, via the processed-event callback fast path)
+        without scheduling anything -- the zero-cost result for APIs
+        that sometimes have nothing to wait for, e.g. a zero-ns charge.
+        """
+        return self._done
+
+    @property
+    def heap_size(self) -> int:
+        """Entries in the schedule heap (including cancelled ones)."""
+        return len(self._queue)
 
     # -- event factories --------------------------------------------
     def event(self) -> Event:
@@ -388,6 +529,40 @@ class Engine:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """An event firing ``delay`` ns from now."""
         return Timeout(self, int(delay), value)
+
+    def sleep(self, delay: int) -> Event:
+        """A pooled one-shot timer firing ``delay`` ns from now.
+
+        Contract (what makes pooling safe): the returned event must be
+        ``yield``-ed (or given at most short-lived callbacks) and then
+        *forgotten*.  It is recycled the moment its callbacks have run,
+        so callers must never retain it across that instant, never
+        :meth:`~Event.cancel` it, and never hand it to code that might
+        (``any_of`` guards, :func:`repro.sim.sync._timed`, ...).  Use
+        :meth:`timeout` whenever the timer may be cancelled or kept.
+
+        Scheduling order is identical to an equivalent :meth:`timeout`;
+        only the allocation is elided.
+        """
+        pool = self._sleep_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._state = _TRIGGERED
+            self._stats.sleeps_reused += 1
+        else:
+            ev = _PooledSleep(self)
+            ev._state = _TRIGGERED
+        delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative sleep delay: {delay}")
+        seq = self._seq + 1
+        if seq >= _SEQ_LIMIT:  # pragma: no cover - 2**40 events
+            raise SimulationError("event sequence space exhausted")
+        self._seq = seq
+        ev._when = when = self._now + delay
+        heapq.heappush(self._queue, ((when << _TIME_SHIFT) | seq, ev))
+        return ev
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start a new process from a generator coroutine."""
@@ -408,8 +583,24 @@ class Engine:
 
     # -- scheduling --------------------------------------------------
     def _schedule(self, event: Event, delay: int = 0) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        seq = self._seq + 1
+        if seq >= _SEQ_LIMIT:  # pragma: no cover - 2**40 events
+            raise SimulationError("event sequence space exhausted")
+        self._seq = seq
+        event._when = when = self._now + delay
+        heapq.heappush(self._queue, ((when << _TIME_SHIFT) | seq, event))
+
+    def _compact(self) -> None:
+        """Rebuild the schedule heap without its cancelled entries.
+
+        In-place (slice assignment) so a ``run()`` loop holding a
+        reference to the queue keeps seeing the same list object.
+        """
+        q = self._queue
+        q[:] = [entry for entry in q if entry[1]._state != _CANCELLED]
+        heapq.heapify(q)
+        self._heap_dead = 0
+        self._stats.heap_compactions += 1
 
     def call_at(self, when: int, fn: Callable[[], None]) -> Event:
         """Run ``fn`` at absolute time ``when`` (must not be in the past)."""
@@ -430,23 +621,52 @@ class Engine:
         if self._active:
             raise SimulationError("engine is already running (reentrant run())")
         self._active = True
+        # Pause the cyclic garbage collector for the duration of the
+        # run: simulation allocation is dominated by short-lived
+        # acyclic objects reclaimed by refcounting, and generational
+        # collections triggered mid-run cost ~15% of sweep wall time
+        # while finding almost nothing.  Cyclic garbage (finished
+        # process/generator webs) is simply deferred to the first
+        # collection after the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        queue = self._queue
+        pool = self._sleep_pool
+        pop = heapq.heappop
+        # key >= limit  <=>  when > until  (seq bits are below the shift).
+        # A beyond-any-schedule sentinel for the unbounded case keeps
+        # the loop to a single comparison per event.
+        limit = ((until + 1) << _TIME_SHIFT) if until is not None \
+            else (1 << (4 * _TIME_SHIFT))
+        fired = 0
         try:
-            while self._queue:
-                when, _seq, event = self._queue[0]
-                if until is not None and when > until:
+            while queue:
+                key, event = pop(queue)
+                if key >= limit:
+                    # Not due yet: put it back and stop (one push per
+                    # run() call, cheaper than peeking every event).
+                    heapq.heappush(queue, (key, event))
                     break
-                heapq.heappop(self._queue)
                 if event._state == _CANCELLED:
                     # Withdrawn after scheduling (e.g. a cancelled
                     # Timeout): drop without advancing the clock.
+                    self._heap_dead -= 1
                     continue
-                self._now = when
+                self._now = event._when
+                fired += 1
                 event._process_callbacks()
+                if event.__class__ is _PooledSleep:
+                    event._value = None
+                    pool.append(event)
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self._stats.events_fired += fired
             self._active = False
+            if gc_was_enabled:
+                gc.enable()
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        return (self._queue[0][0] >> _TIME_SHIFT) if self._queue else None

@@ -71,6 +71,9 @@ class Semaphore:
     ...     sem.release()
     """
 
+    __slots__ = ("engine", "capacity", "_available", "_waiters")
+
+
     def __init__(self, engine: Engine, capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")
@@ -131,6 +134,9 @@ class Lock(Semaphore):
     when debugging deadlocks.
     """
 
+    __slots__ = ("name", "owner")
+
+
     def __init__(self, engine: Engine, name: str = "lock"):
         super().__init__(engine, capacity=1)
         self.name = name
@@ -165,6 +171,9 @@ class Store:
     ``put`` never blocks; ``get`` returns an event that fires with the
     next item, in arrival order.
     """
+
+    __slots__ = ("engine", "_items", "_getters")
+
 
     def __init__(self, engine: Engine):
         self.engine = engine
@@ -210,6 +219,9 @@ class Gate:
     re-closed and reused.  Waiting on an already-open gate returns an
     immediately-fired event.
     """
+
+    __slots__ = ("engine", "_open", "_waiters")
+
 
     def __init__(self, engine: Engine, opened: bool = False):
         self.engine = engine
@@ -260,6 +272,9 @@ class Channel:
     ``capacity`` items.  Used to model hardware command queues where a
     full ring back-pressures the submitter.
     """
+
+    __slots__ = ("engine", "capacity", "_items", "_getters", "_putters")
+
 
     def __init__(self, engine: Engine, capacity: int):
         if capacity < 1:
@@ -346,6 +361,9 @@ class RWLock:
     simulations deterministic.
     """
 
+    __slots__ = ("engine", "name", "_readers", "_writer", "_waiters")
+
+
     def __init__(self, engine: Engine, name: str = "rwlock"):
         self.engine = engine
         self.name = name
@@ -426,6 +444,9 @@ class RWLock:
 
 class Barrier:
     """N-party rendezvous: the barrier trips when ``parties`` arrive."""
+
+    __slots__ = ("engine", "parties", "_arrived", "_waiters")
+
 
     def __init__(self, engine: Engine, parties: int):
         if parties < 1:

@@ -135,7 +135,7 @@ def run_app(kind: str, app_name: str, cores: int,
     busy0: List[int] = []
 
     def snapshot():
-        yield engine.timeout(warmup_end - engine.now)
+        yield engine.sleep(warmup_end - engine.now)
         busy0.extend(c.busy_ns() for c in worker_cores)
     engine.process(snapshot())
 
@@ -197,7 +197,7 @@ def run_app(kind: str, app_name: str, cores: int,
             core.mark_busy(f"{app_name}{w}")
             try:
                 # Same start-up stagger as the uthread driver.
-                yield engine.timeout(
+                yield engine.sleep(
                     1 + (w * (spec.compute_ns + 40_000)) // max(1, workers))
                 while engine.now < t_end:
                     t0 = engine.now
@@ -207,7 +207,7 @@ def run_app(kind: str, app_name: str, cores: int,
                         if hasattr(result, "is_async"):
                             yield from settle(fs, result)
                     if spec.compute_ns:
-                        yield engine.timeout(spec.compute_ns)
+                        yield engine.sleep(spec.compute_ns)
                     if engine.now >= warmup_end:
                         lat.record(engine.now - t0)
                     meter.record(engine.now, spec.read_bytes)

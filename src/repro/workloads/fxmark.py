@@ -48,6 +48,10 @@ class FxmarkConfig:
     single_node: bool = False
     steal: bool = True
     model: object = None          # optional CostModel override
+    #: Payload-elision mode: skip storing page contents (identical
+    #: simulated timing, see ElidingPagePersister) -- for pure
+    #: performance sweeps; never for crash/fault/recovery runs.
+    elide: bool = False
 
     def __post_init__(self):
         if self.op not in ("write", "read"):
@@ -128,7 +132,7 @@ def _op_once(fs, ctx, op: str, ino: int, offset: int, size: int):
 def run_fxmark(cfg: FxmarkConfig) -> FxmarkResult:
     """Execute one microbenchmark configuration and return its result."""
     platform = make_platform(single_node=cfg.single_node, model=cfg.model)
-    fs = make_fs(cfg.kind, platform)
+    fs = make_fs(cfg.kind, platform, elide_payloads=cfg.elide)
     engine = platform.engine
     n = cfg.workers
     if n < 1:
@@ -156,7 +160,7 @@ def run_fxmark(cfg: FxmarkConfig) -> FxmarkResult:
     busy_at_warmup: List[int] = []
 
     def snapshot_busy():
-        yield engine.timeout(warmup_end - engine.now)
+        yield engine.sleep(warmup_end - engine.now)
         busy_at_warmup.extend(core.busy_ns() for core in worker_cores)
     engine.process(snapshot_busy())
 
@@ -236,7 +240,7 @@ def run_fxmark(cfg: FxmarkConfig) -> FxmarkResult:
                     meter.record(engine.now, cfg.io_size)
                     account(result)
                     if cfg.compute_ns:
-                        yield engine.timeout(cfg.compute_ns)
+                        yield engine.sleep(cfg.compute_ns)
                     i += 1
             finally:
                 core.mark_idle()
@@ -274,14 +278,14 @@ def run_fxmark(cfg: FxmarkConfig) -> FxmarkResult:
 
 def measure_single_op(kind: str, op: str, io_size: int,
                       single_node: bool = False, repeats: int = 32,
-                      model=None):
+                      model=None, elide: bool = False):
     """Single-threaded per-op latency + CPU breakdown (Figures 1 and 8).
 
     One worker, busy-polling completions, private preallocated file.
     Returns ``(mean_latency_ns, mean_cpu_ns, breakdown_dict)``.
     """
     platform = make_platform(single_node=single_node, model=model)
-    fs = make_fs(kind, platform)
+    fs = make_fs(kind, platform, elide_payloads=elide)
     engine = platform.engine
     file_bytes = max(4 * 1024 * 1024, io_size * 4)
     slots = file_bytes // io_size

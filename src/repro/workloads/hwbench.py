@@ -129,7 +129,7 @@ def measure_interference(bg_mode: str, duration_us: int = 12_000,
         chunk = 512 * 1024   # the GC pipelines its bulk in large pieces
         while engine.now < t_end:
             if not any(s <= engine.now < e for s, e in gc_windows):
-                yield engine.timeout(20 * US)
+                yield engine.sleep(20 * US)
                 continue
             if bg_mode == "memcpy":
                 for _ in range(bg_bulk // chunk):

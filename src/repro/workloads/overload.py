@@ -185,7 +185,7 @@ def run_overload(cfg: OverloadConfig) -> OverloadResult:
         rid = 0
         while True:
             gap = max(1, round(rng.expovariate(rate_per_ns)))
-            yield engine.timeout(gap)
+            yield engine.sleep(gap)
             if engine.now >= t_close:
                 return
             counts["offered"] += 1

@@ -14,7 +14,8 @@ fixed seeds, so any drift means the refactor changed behaviour).
 import json
 import os
 
-from repro.workloads import FxmarkConfig, run_fxmark
+from repro.analysis.sweep import run_sweep
+from repro.workloads import FxmarkConfig
 from repro.workloads.fxmark import measure_single_op
 from repro.workloads.hwbench import measure_copy_bandwidth
 
@@ -42,12 +43,12 @@ def fig02():
     return out
 
 
-def fig08():
+def fig08(elide=False):
     out = {}
     for op in ("write", "read"):
         for kind in FIG08_KINDS:
             for size in FIG08_SIZES:
-                lat, cpu, bd = measure_single_op(kind, op, size)
+                lat, cpu, bd = measure_single_op(kind, op, size, elide=elide)
                 out[f"{op}/{kind}/{size}"] = {
                     "lat": lat, "cpu": cpu,
                     "breakdown": {k: bd[k] for k in sorted(bd)},
@@ -55,23 +56,18 @@ def fig08():
     return out
 
 
-def fig09():
-    out = {}
+def fig09(elide=False, processes=1):
+    """The 16-point sweep.  ``elide``/``processes`` must not change a
+    single number (the equivalence tests run all combinations)."""
+    keys, configs = [], []
     for op in ("write", "read"):
         for kind in FIG09_KINDS:
             for workers in FIG09_WORKERS:
-                r = run_fxmark(FxmarkConfig(
+                keys.append(f"{op}/{kind}/{workers}")
+                configs.append(FxmarkConfig(
                     kind=kind, op=op, io_size=16384, workers=workers,
-                    duration_us=1200, warmup_us=300))
-                out[f"{op}/{kind}/{workers}"] = {
-                    "throughput_ops": r.throughput_ops,
-                    "bandwidth_gbps": r.bandwidth_gbps,
-                    "total_ops": r.total_ops,
-                    "mean_us": r.mean_us,
-                    "p99_us": r.p99_us,
-                    "cpu_busy_fraction": r.cpu_busy_fraction,
-                }
-    return out
+                    duration_us=1200, warmup_us=300, elide=elide))
+    return dict(zip(keys, run_sweep(configs, processes=processes)))
 
 
 def capture():

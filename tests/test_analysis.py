@@ -55,6 +55,38 @@ class TestLatencySeries:
         s.samples.extend([50, 70])
         assert s.percentile(100) == 70
 
+    def test_incremental_insort_matches_full_sort(self):
+        # Small appended tails are insorted into the cached view
+        # instead of re-sorting; large backlogs re-sort.  Both paths
+        # must agree with a scratch sort at every step.
+        import random
+        rng = random.Random(7)
+        s = LatencySeries()
+        reference = []
+        for step in range(40):
+            # Alternate tiny tails (insort path) with big batches
+            # (past _INSORT_TAIL_MAX: the re-sort path).
+            batch = 3 if step % 3 else 200
+            for _ in range(batch):
+                v = rng.randrange(1_000_000)
+                s.record(v)
+                reference.append(v)
+            ref = sorted(reference)
+            assert s._sorted_samples() == ref
+            assert s.percentile(100) == ref[-1]
+            assert s.p50() == pytest.approx(
+                (ref[(len(ref) - 1) // 2] + ref[len(ref) // 2]) / 2)
+
+    def test_query_between_every_append_stays_exact(self):
+        s = LatencySeries()
+        seen = []
+        for v in [9, 1, 8, 2, 7, 3, 6, 4, 5, 5, 0, 10]:
+            s.record(v)
+            seen.append(v)
+            assert s._sorted_samples() == sorted(seen)
+            assert s.maximum() == max(seen)
+            assert s.mean() == pytest.approx(sum(seen) / len(seen))
+
     def test_percentile_bounds(self):
         s = LatencySeries()
         s.record(5)

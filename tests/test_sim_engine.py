@@ -300,3 +300,87 @@ class TestCancellation:
         assert slow.cancelled
         engine.run()
         assert engine.now == 10  # the losing timer never fires
+
+
+class TestEngineStats:
+    """The hot-path bookkeeping added for the performance work."""
+
+    def test_stats_counts_fired_events(self, engine):
+        def body():
+            for _ in range(5):
+                yield engine.sleep(10)
+        run_proc(engine, body())
+        stats = engine.stats.as_dict()
+        assert stats["events_fired"] >= 5
+        assert set(stats) == {"events_fired", "events_cancelled",
+                              "heap_compactions", "sleeps_reused"}
+
+    def test_pooled_sleeps_are_reused(self, engine):
+        def body():
+            for _ in range(100):
+                yield engine.sleep(1)
+        run_proc(engine, body())
+        # After the first sleep retires into the pool, every subsequent
+        # one recycles it instead of allocating.
+        assert engine.stats.sleeps_reused >= 99
+
+    def test_done_event_resumes_without_scheduling(self, engine):
+        log = []
+        def body():
+            yield engine.done
+            log.append(engine.now)
+            yield engine.sleep(7)
+            yield engine.done
+            log.append(engine.now)
+        run_proc(engine, body())
+        assert log == [0, 7]
+        assert engine.done.processed and engine.done.value is None
+
+    def test_cancel_heavy_run_does_not_grow_heap_unboundedly(self, engine):
+        # The satellite regression test: schedule-and-cancel in a loop
+        # used to leave every dead entry in the heap until drain time.
+        def body():
+            for _ in range(3000):
+                t = engine.timeout(10_000_000)
+                t.cancel()
+                yield engine.sleep(1)
+        run_proc(engine, body())
+        assert engine.stats.events_cancelled == 3000
+        assert engine.stats.heap_compactions > 0
+        # Lazy compaction keeps the heap near the live-entry count, not
+        # the cancellation count.
+        assert engine.heap_size < 200
+
+    def test_compaction_preserves_pending_order(self, engine):
+        fired = []
+        def body():
+            dead = [engine.timeout(50_000 + i) for i in range(200)]
+            keep = engine.timeout(500)
+            for t in dead:
+                t.cancel()
+            yield keep
+            fired.append(engine.now)
+        run_proc(engine, body())
+        assert fired == [500]
+
+    def test_any_of_single_event_fast_path(self, engine):
+        t = engine.timeout(5)
+        got = []
+        def body():
+            fired = yield engine.any_of([t])
+            got.append(dict(fired))
+        run_proc(engine, body())
+        assert got == [{t: None}]
+
+    def test_all_of_single_event_fast_path(self, engine):
+        ev = engine.event()
+        got = []
+        def body():
+            values = yield engine.all_of([ev])
+            got.append(values)
+        def trigger():
+            yield engine.sleep(3)
+            ev.succeed("x")
+        engine.process(trigger())
+        run_proc(engine, body())
+        assert got == [{ev: "x"}]
