@@ -16,8 +16,12 @@ CRASH_POINTS = 1000
 
 
 def reproduce():
+    # trace_oracles: the recording run of every workload is traced and
+    # replayed through the invariant oracles (ack-implies-durable, SN
+    # monotonicity, ...) before the crash points are examined.
     return {workload: run_crash_test("easyio", workload,
-                                     crash_points=CRASH_POINTS)
+                                     crash_points=CRASH_POINTS,
+                                     trace_oracles=True)
             for workload in sorted(CRASH_WORKLOADS)}
 
 

@@ -35,6 +35,7 @@ from repro.core import AppProfile, ChannelManager, EasyIoFS, NaiveAsyncFS
 from repro.fs import (DeadlineExceeded, FsError, NovaFS, OpResult, PMImage,
                       recover)
 from repro.hw import CostModel, Platform, PlatformConfig
+from repro.obs import TraceChecker, Tracer, default_tracing
 from repro.runtime import Compute, Runtime, Sleep, Syscall, Yield
 from repro.workloads.factory import (FS_KINDS, FS_LABELS, fs_class, make_fs,
                                      make_platform, register_fs)
@@ -62,7 +63,10 @@ __all__ = [
     "Runtime",
     "Sleep",
     "Syscall",
+    "TraceChecker",
+    "Tracer",
     "Yield",
+    "default_tracing",
     "fs_class",
     "make_fs",
     "make_platform",

@@ -39,6 +39,11 @@ class FaultStats:
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def reset(self) -> None:
+        """Zero every counter (for reusing the stats across runs)."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
     @property
     def any_faults(self) -> bool:
         return any(self.as_dict().values())
@@ -72,6 +77,11 @@ class OverloadStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        """Zero every counter (for reusing the stats across runs)."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
     @property
     def any_overload(self) -> bool:

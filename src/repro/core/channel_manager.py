@@ -204,6 +204,9 @@ class ChannelManager:
     def _quarantine(self, ch: DmaChannel, health: ChannelHealth) -> None:
         health.quarantined = True
         self.fault_stats.quarantines += 1
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("cm_quarantine", track="cm", ch=ch.channel_id)
         self.engine.process(self._probe_loop(ch),
                             name=f"cm-probe-ch{ch.channel_id}")
 
@@ -253,6 +256,9 @@ class ChannelManager:
                 health.quarantined = False
                 health.consecutive_errors = 0
                 self.fault_stats.readmissions += 1
+                tr = self.engine.tracer
+                if tr is not None:
+                    tr.point("cm_readmit", track="cm", ch=ch.channel_id)
                 return
             health.total_errors += 1
 
@@ -335,6 +341,11 @@ class ChannelManager:
             self._throttling = True
             self.engine.process(self._regulation_loop(), name="channel-manager")
 
+    def _trace_limit(self) -> None:
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("cm_limit", track="cm", limit=self.b_limit)
+
     def stop(self) -> None:
         """Shut the regulation loop down (lets the engine drain)."""
         self._stopped = True
@@ -392,7 +403,9 @@ class ChannelManager:
                 self.b_limit = max(self.b_limit_min,
                                    self.b_limit - self.delta)
                 self.limit_changes.append((self.engine.now, self.b_limit))
+                self._trace_limit()
             elif min_slack > self.slack_threshold:
                 self.b_limit = min(self.b_limit_max,
                                    self.b_limit + self.delta)
                 self.limit_changes.append((self.engine.now, self.b_limit))
+                self._trace_limit()

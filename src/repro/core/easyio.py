@@ -150,6 +150,7 @@ class EasyIoFS(NovaFS):
             persister = VerifyingPagePersister(
                 self.image, self.fault_stats,
                 rewrite_max=self.MEDIA_REWRITE_MAX)
+            persister.engine = self.engine
         backend = DmaAsyncBackend(self.cm, self.memory, persister,
                                   OpCounters(self))
         fallback = MemcpyBackend(self.memory, persister)

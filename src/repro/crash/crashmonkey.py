@@ -27,12 +27,14 @@ SN rule), or the content check fails.
 from __future__ import annotations
 
 import hashlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.fs.recovery import completion_buffer_validator, recover
 from repro.fs.structures import FileKind
 from repro.hw.platform import Platform, PlatformConfig
+from repro.obs import TraceChecker, default_tracing
 from repro.workloads.factory import make_fs
 
 Snapshot = Dict[str, Tuple]
@@ -178,16 +180,27 @@ class CrashReport:
 
 
 def _record_workload(kind: str, driver: Callable, iterations: int,
-                     fault_plan: Optional[Callable] = None):
+                     fault_plan: Optional[Callable] = None,
+                     trace_oracles: bool = False):
     """Run the workload once, recording mutations and the op oracle.
 
     ``fault_plan`` is a zero-argument factory returning a fresh
     :class:`~repro.faults.FaultPlan`; when given, the plan is installed
     on the recording platform so crash points land inside the
     retry/failover/degradation windows too.
+
+    With ``trace_oracles`` the recording run is traced (repro.obs) and
+    the stream is replayed through the full invariant-oracle set; any
+    violation raises before a single crash point is examined -- so
+    crash legality is checked against the *execution*, not only the
+    recovered image.
     """
-    platform = Platform(PlatformConfig.single_node())
-    fs = make_fs(kind, platform, record=True)
+    tracers: list = []
+    scope = default_tracing(collect=tracers) if trace_oracles \
+        else nullcontext()
+    with scope:
+        platform = Platform(PlatformConfig.single_node())
+        fs = make_fs(kind, platform, record=True)
     image = fs.image
     if fault_plan is not None:
         fault_plan().install(platform, image=image)
@@ -226,11 +239,20 @@ def _record_workload(kind: str, driver: Callable, iterations: int,
         raise RuntimeError(f"crash workload stalled (deadlock?) on {kind}")
     if not proc.ok:
         raise proc.value
+    if trace_oracles:
+        checker = TraceChecker()
+        problems = [v for tr in tracers for v in checker.check(tr.events)]
+        if problems:
+            raise AssertionError(
+                f"{kind}/{len(problems)} trace-invariant violation(s) "
+                "during crash-test recording:\n"
+                + "\n".join(f"  {v}" for v in problems))
     return image, oracle
 
 
 def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
-                   fault_plan: Optional[Callable] = None) -> CrashReport:
+                   fault_plan: Optional[Callable] = None,
+                   trace_oracles: bool = False) -> CrashReport:
     """Inject ``crash_points`` crashes into one workload and check
     every recovery (the Table 2 experiment).
 
@@ -238,9 +260,12 @@ def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
     faults, so the sweep covers crash points inside EasyIO's retry and
     failover windows (half-retried writes, amended-but-unlanded SNs);
     recovery must still land in a legal state at every point.
+    ``trace_oracles`` additionally replays the recording run's trace
+    through the invariant oracles (see :func:`_record_workload`).
     """
     desc, driver, iterations = CRASH_WORKLOADS[workload]
-    image, oracle = _record_workload(kind, driver, iterations, fault_plan)
+    image, oracle = _record_workload(kind, driver, iterations, fault_plan,
+                                     trace_oracles=trace_oracles)
     total = image.crash_points()
     if total < 2:
         raise RuntimeError(f"workload {workload} produced no mutations")

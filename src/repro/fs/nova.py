@@ -69,7 +69,7 @@ class OpContext:
 
     __slots__ = ("platform", "engine", "core", "record", "_breakdown",
                  "cpu_ns", "started_at", "app", "lock_racing", "deadline",
-                 "force_sync")
+                 "force_sync", "op_id", "_tracer")
 
     def __init__(self, platform: Platform, core=None, record: bool = True,
                  deadline: Optional[int] = None):
@@ -77,6 +77,12 @@ class OpContext:
         self.engine = platform.engine
         self.core = core
         self.record = record
+        #: Structured-tracing hookup (repro.obs): the engine's tracer
+        #: and a per-operation id tying this op's events together
+        #: across tracks.  Both None when tracing is off.
+        tr = platform.engine.tracer
+        self._tracer = tr
+        self.op_id = tr.next_op_id() if tr is not None else None
         # The per-phase dict is built lazily: throughput runs create one
         # context per op with record=False and never look at it.
         self._breakdown: Optional[Dict[str, int]] = None
@@ -106,9 +112,34 @@ class OpContext:
             return None
         return self.deadline - self.engine.now
 
+    # -- tracing (no-ops costing one None check when tracing is off) --
+    def trace_begin(self, name: str, **args) -> None:
+        """Open a span on this op's track."""
+        tr = self._tracer
+        if tr is not None:
+            tr.begin(name, track=f"op{self.op_id}", op=self.op_id, **args)
+
+    def trace_end(self, name: str) -> None:
+        """Close this op's innermost span of ``name``."""
+        tr = self._tracer
+        if tr is not None:
+            tr.end(name, track=f"op{self.op_id}", op=self.op_id)
+
+    def trace_point(self, name: str, track: str = "fs", **args) -> None:
+        """Emit an instantaneous event attributed to this op."""
+        tr = self._tracer
+        if tr is not None:
+            tr.point(name, track=track, op=self.op_id, **args)
+
+    def _trace_abort(self, what: str) -> None:
+        tr = self._tracer
+        if tr is not None:
+            tr.point("deadline_abort", track="fs", op=self.op_id, what=what)
+
     def check_deadline(self, what: str = "operation") -> None:
         """Raise :class:`DeadlineExceeded` if the deadline has passed."""
         if self.deadline is not None and self.engine.now >= self.deadline:
+            self._trace_abort(what)
             raise DeadlineExceeded(
                 f"{what}: deadline {self.deadline} passed "
                 f"(now={self.engine.now})")
@@ -129,6 +160,7 @@ class OpContext:
                 return value
             rem = self.deadline - self.engine.now
             if rem <= 0:
+                self._trace_abort(what)
                 raise DeadlineExceeded(
                     f"{what}: no budget left before wait")
             timer = self.engine.timeout(rem)
@@ -137,6 +169,7 @@ class OpContext:
                 if not timer.processed:
                     timer.cancel()
                 return fired[event]
+            self._trace_abort(what)
             raise DeadlineExceeded(
                 f"{what}: deadline exceeded after "
                 f"{self.engine.now - t0} ns wait")
@@ -255,8 +288,11 @@ class NovaFS:
                 raise ValueError(
                     "payload elision cannot be combined with a fault "
                     "plan: media-fault verification reads pages back")
-            return ElidingPagePersister(self.image)
-        return PagePersister(self.image)
+            persister = ElidingPagePersister(self.image)
+        else:
+            persister = PagePersister(self.image)
+        persister.engine = self.engine
+        return persister
 
     # ------------------------------------------------------------------
     # Mount / volatile state
@@ -520,20 +556,42 @@ class NovaFS:
                 "silently dropped (mount without elide_payloads to keep data)")
         if nbytes < 0 or offset < 0:
             raise FsError("negative offset/size")
-        # One event for both entry costs: nothing observable happens
-        # between the syscall and VFS-lookup charges, so merging them
-        # halves the hot path's entry events.
-        yield ctx.charge("syscall",
-                         self.model.syscall_cost + self.model.vfs_lookup_cost)
-        m = self.minode(ino)
-        if m.kind is not FileKind.FILE:
-            raise FsError(f"not a regular file: inode {ino}")
-        if nbytes == 0:
-            return OpResult(value=0, ctx=ctx)
-        yield from self._acquire_file_lock(ctx, m, write=True)
-        result = yield from self._write_locked(ctx, m, offset, nbytes, payload)
+        ctx.trace_begin("write", ino=ino, offset=offset, nbytes=nbytes)
+        try:
+            # One event for both entry costs: nothing observable happens
+            # between the syscall and VFS-lookup charges, so merging them
+            # halves the hot path's entry events.
+            yield ctx.charge(
+                "syscall",
+                self.model.syscall_cost + self.model.vfs_lookup_cost)
+            m = self.minode(ino)
+            if m.kind is not FileKind.FILE:
+                raise FsError(f"not a regular file: inode {ino}")
+            if nbytes == 0:
+                return OpResult(value=0, ctx=ctx)
+            yield from self._acquire_file_lock(ctx, m, write=True)
+            result = yield from self._write_locked(ctx, m, offset, nbytes,
+                                                   payload)
+        finally:
+            ctx.trace_end("write")
+        self._trace_write_ack(ctx, result, ino)
         self.ops_completed += 1
         return result
+
+    def _trace_write_ack(self, ctx: OpContext, result: "OpResult",
+                         ino: int) -> None:
+        """Emit ``write_ack`` at the instant the write's durability
+        contract is met: at return for synchronous results, when the
+        pending data movement fires for asynchronous ones."""
+        tr = ctx._tracer
+        if tr is None:
+            return
+        if result.is_async:
+            op = ctx.op_id
+            result.pending.add_callback(
+                lambda _e: tr.point("write_ack", track="fs", op=op, ino=ino))
+        else:
+            tr.point("write_ack", track="fs", op=ctx.op_id, ino=ino)
 
     def append(self, ctx: OpContext, ino: int, nbytes: int,
                payload: Optional[bytes] = None):
@@ -575,6 +633,8 @@ class NovaFS:
                            size_after=prep.size_after, mtime=self.engine.now,
                            sns=sns)
         idx = yield from self._append_commit(ctx, m, entry)
+        ctx.trace_point("write_commit", ino=m.ino, log_idx=idx,
+                        pids=list(prep.page_ids), sns=list(sns))
         yield ctx.charge("indexing",
                               self.model.index_insert_cost * len(prep.page_ids))
         for i, pid in enumerate(prep.page_ids):
@@ -598,22 +658,27 @@ class NovaFS:
         whose value is the byte count (or the bytes, if ``want_data``)."""
         if nbytes < 0 or offset < 0:
             raise FsError("negative offset/size")
-        # One event for both entry costs: nothing observable happens
-        # between the syscall and VFS-lookup charges, so merging them
-        # halves the hot path's entry events.
-        yield ctx.charge("syscall",
-                         self.model.syscall_cost + self.model.vfs_lookup_cost)
-        m = self.minode(ino)
-        if m.kind is not FileKind.FILE:
-            raise FsError(f"not a regular file: inode {ino}")
-        yield from self._acquire_file_lock(ctx, m, write=False)
-        token = self.allocator.reader_enter()
+        ctx.trace_begin("read", ino=ino, offset=offset, nbytes=nbytes)
         try:
-            result = yield from self._read_locked(ctx, m, offset, nbytes,
-                                                  want_data)
-        except BaseException:
-            self.allocator.reader_exit(token)
-            raise
+            # One event for both entry costs: nothing observable happens
+            # between the syscall and VFS-lookup charges, so merging them
+            # halves the hot path's entry events.
+            yield ctx.charge(
+                "syscall",
+                self.model.syscall_cost + self.model.vfs_lookup_cost)
+            m = self.minode(ino)
+            if m.kind is not FileKind.FILE:
+                raise FsError(f"not a regular file: inode {ino}")
+            yield from self._acquire_file_lock(ctx, m, write=False)
+            token = self.allocator.reader_enter()
+            try:
+                result = yield from self._read_locked(ctx, m, offset, nbytes,
+                                                      want_data)
+            except BaseException:
+                self.allocator.reader_exit(token)
+                raise
+        finally:
+            ctx.trace_end("read")
         # An asynchronous read's source pages stay pinned until the DMA
         # drains; only then may CoW-replaced pages be recycled.
         if result.is_async:
@@ -683,6 +748,7 @@ class NovaFS:
         t0 = self.engine.now
         timeout = ctx.remaining()
         if timeout is not None and timeout <= 0:
+            ctx._trace_abort(f"file lock ino{m.ino}")
             raise DeadlineExceeded(
                 f"file lock ino{m.ino}: no budget left before acquire")
         event = (m.lock.acquire_write(timeout=timeout) if write
@@ -691,6 +757,7 @@ class NovaFS:
         try:
             yield from ctx.idle_wait(event)
         except WaitTimeout as exc:
+            ctx._trace_abort(f"file lock ino{m.ino}")
             raise DeadlineExceeded(f"file lock ino{m.ino}: {exc}") from exc
         yield ctx.charge("syscall", self.model.lock_cost)
         contended = (self.engine.now > t0) or racing
@@ -739,6 +806,22 @@ class NovaFS:
         pending data movement, so this is a no-op for them."""
         return
         yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Counter hygiene (reuse across runs)
+    # ------------------------------------------------------------------
+    #: Per-variant operation counters (bumped through the OpCounters
+    #: middleware stage); reset together with ops_completed.
+    OP_COUNTER_NAMES = ("dma_writes", "dma_reads", "memcpy_reads",
+                        "memcpy_writes", "memcpy_ops")
+
+    def reset_op_counters(self) -> None:
+        """Zero ``ops_completed`` and every per-variant op counter this
+        filesystem carries (``dma_writes``, ``memcpy_ops``, ...)."""
+        self.ops_completed = 0
+        for name in self.OP_COUNTER_NAMES:
+            if hasattr(self, name):
+                setattr(self, name, 0)
 
     # ------------------------------------------------------------------
     # Convenience (drive an op to completion on a throwaway context)

@@ -152,6 +152,8 @@ class DmaChannel:
         self.on_completion: Optional[Callable[["DmaChannel"], None]] = None
         #: Set by the owning DmaEngine; used for engine-capacity sharing.
         self.owner_engine: Optional["DmaEngine"] = None
+        #: Trace track name (repro.obs): one row per channel.
+        self._track = f"ch{channel_id}"
         self._server = engine.process(self._service_loop(),
                                       name=f"dma-ch{channel_id}")
 
@@ -207,6 +209,7 @@ class DmaChannel:
                 f"batch of {len(descriptors)} exceeds max {self.model.dma_batch_max}")
         prep = self.model.dma_desc_prep_cost * len(descriptors)
         yield self.engine.sleep(prep + self.model.dma_doorbell_cost)
+        tr = self.engine.tracer
         for i, desc in enumerate(descriptors):
             desc.pipelined = i > 0
             desc.done = self.engine.event()
@@ -214,6 +217,9 @@ class DmaChannel:
             self._submitted_total += 1
             desc.sn = self._submitted_total
             self._queued += 1
+            if tr is not None:
+                tr.point("dma_submit", track=self._track, sn=desc.sn,
+                         nbytes=desc.nbytes, write=desc.write)
             yield self._ring.put(desc)
         return list(descriptors)
 
@@ -244,6 +250,10 @@ class DmaChannel:
         self._submitted_total += 1
         desc.sn = self._submitted_total
         self._queued += 1
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("dma_submit", track=self._track, sn=desc.sn,
+                     nbytes=desc.nbytes, write=desc.write)
         ev = self._ring.put(desc)
         assert ev.triggered, "ring accepted the descriptor synchronously"
         return True
@@ -278,11 +288,17 @@ class DmaChannel:
         """Stop fetching descriptors (in-flight one runs to completion)."""
         self._suspended = True
         self._resume_gate.close()
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("chancmd_suspend", track=self._track)
 
     def resume(self) -> None:
         """Resume descriptor fetching."""
         self._suspended = False
         self._resume_gate.open()
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("chancmd_resume", track=self._track)
 
     # -- CHANERR reset ------------------------------------------------------
     def reset(self) -> List[DmaDescriptor]:
@@ -304,6 +320,9 @@ class DmaChannel:
         for d in stranded:
             d.status = "stranded"
             d.done.succeed(d)
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("dma_reset", track=self._track, sns=burned)
         if self.on_reset is not None and burned:
             self.on_reset(self, burned)
         self._halted = False
@@ -363,6 +382,9 @@ class DmaChannel:
             self.descriptors_completed += 1
             desc.status = "ok"
             desc.completed_at = self.engine.now
+            tr = self.engine.tracer
+            if tr is not None:
+                tr.point("dma_complete", track=self._track, sn=desc.sn)
             if self.on_completion is not None:
                 self.on_completion(self)
             done = desc.done
@@ -386,6 +408,10 @@ class DmaChannel:
         self.errors += 1
         self.error_sns.add(desc.sn)
         halting = fault == "chan_halt"
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("dma_fault", track=self._track, sn=desc.sn,
+                     fault=fault, halting=halting)
         if halting:
             self._halted = True
             self._halt_gate.close()

@@ -35,14 +35,23 @@ class Level2Gate:
     def wait(self, ctx, m):
         done = m.pending_done
         if done is not None and not done.triggered:
-            yield from ctx.timed_wait(done, what=f"level-2 wait ino{m.ino}")
+            ctx.trace_begin("level2", ino=m.ino)
+            try:
+                yield from ctx.timed_wait(done,
+                                          what=f"level-2 wait ino{m.ino}")
+            finally:
+                ctx.trace_end("level2")
             return
         for chid, sn in m.pending_sns:
             ch = self.fs.platform.dma.channel(chid)
             if not ch.is_complete(sn):
-                yield from ctx.timed_wait(
-                    ch.completion_event(sn),
-                    what=f"level-2 completion ch{chid}/sn{sn}")
+                ctx.trace_begin("level2", ino=m.ino, ch=chid, sn=sn)
+                try:
+                    yield from ctx.timed_wait(
+                        ch.completion_event(sn),
+                        what=f"level-2 completion ch{chid}/sn{sn}")
+                finally:
+                    ctx.trace_end("level2")
 
 
 class DeadlineGate:

@@ -19,13 +19,25 @@ class PagePersister:
     #: Whether this persister discards payloads (see ElidingPagePersister).
     elides = False
 
+    #: Engine reference for tracing (set by the pipeline builders); the
+    #: persister itself never schedules anything, so this stays optional.
+    engine = None
+
     def __init__(self, image):
         self.image = image
+
+    def _trace_persist(self, pids) -> None:
+        engine = self.engine
+        if engine is not None:
+            tr = engine.tracer
+            if tr is not None:
+                tr.point("pages_persist", track="persist", pids=list(pids))
 
     def persist(self, pids, contents) -> None:
         image = self.image
         for pid, content in zip(pids, contents):
             image.write_page(pid, content)
+        self._trace_persist(pids)
 
     def on_complete(self, pids, contents):
         """A DMA ``on_complete`` callback persisting these pages."""
@@ -57,6 +69,7 @@ class ElidingPagePersister(PagePersister):
 
     def persist(self, pids, contents) -> None:
         self.pages_persisted += len(pids)
+        self._trace_persist(pids)
 
     def on_complete(self, pids, contents):
         """None: the DMA completion path skips absent callbacks."""
@@ -98,3 +111,4 @@ class VerifyingPagePersister(PagePersister):
                         f"page {pid}: media faults persist after "
                         f"{rewrites - 1} rewrites")
                 image.write_page(pid, content)
+        self._trace_persist(pids)

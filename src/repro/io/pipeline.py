@@ -69,11 +69,19 @@ class SyncWritePipeline:
         fs = self.fs
         try:
             yield from fs._charge_lock_contention(ctx)
-            prep = yield from self.planner.prepare_cow(ctx, m, offset,
-                                                       nbytes, payload)
-            plan = self.planner.write_plan(m, prep)
+            ctx.trace_begin("plan")
+            try:
+                prep = yield from self.planner.prepare_cow(ctx, m, offset,
+                                                           nbytes, payload)
+                plan = self.planner.write_plan(m, prep)
+            finally:
+                ctx.trace_end("plan")
             # Data pages first (strict order)...
-            yield from self.backend.write(ctx, plan)
+            ctx.trace_begin("copy")
+            try:
+                yield from self.backend.write(ctx, plan)
+            finally:
+                ctx.trace_end("copy")
             # ...then the metadata commit.
             yield from fs._commit_write(ctx, m, prep, sns=())
         finally:
@@ -94,7 +102,11 @@ class SyncReadPipeline:
         try:
             plan = self.planner.read_plan_from_runs(m.ino, offset, nbytes,
                                                     runs)
-            yield from self.backend.read(ctx, plan)
+            ctx.trace_begin("copy")
+            try:
+                yield from self.backend.read(ctx, plan)
+            finally:
+                ctx.trace_end("copy")
             yield ctx.charge("metadata",
                                   fs.model.timestamp_update_cost)
             value = (fs._collect_data(m, offset, nbytes)
@@ -134,8 +146,12 @@ class OrderlessWritePipeline:
             yield from self.level2.wait(ctx, m)
             yield from fs._charge_lock_contention(ctx)
             self.deadline.check(ctx, m)
-            prep = yield from self.planner.prepare_cow(ctx, m, offset,
-                                                       nbytes, payload)
+            ctx.trace_begin("plan")
+            try:
+                prep = yield from self.planner.prepare_cow(ctx, m, offset,
+                                                           nbytes, payload)
+            finally:
+                ctx.trace_end("plan")
             offload = fs.cm.should_offload_write(nbytes)
             if offload and self.admission.forces_sync(ctx):
                 self.admission.note_degraded()
@@ -151,14 +167,23 @@ class OrderlessWritePipeline:
                     fs.fault_stats.degraded_bytes += nbytes
                 self.stats.bump("memcpy_writes")
                 plan = self.planner.write_plan(m, prep)
-                yield from self.fallback.write(ctx, plan)
+                ctx.trace_begin("copy")
+                try:
+                    yield from self.fallback.write(ctx, plan)
+                finally:
+                    ctx.trace_end("copy")
                 yield from fs._commit_write(ctx, m, prep, sns=())
                 m.pending_sns = ()
                 m.pending_done = None
                 return OpResult(value=nbytes, ctx=ctx)
             self.stats.bump("dma_writes")
             plan = self.planner.write_plan(m, prep)
-            jobs = yield from self.backend.submit_write(ctx, plan, channel)
+            ctx.trace_begin("submit")
+            try:
+                jobs = yield from self.backend.submit_write(ctx, plan,
+                                                            channel)
+            finally:
+                ctx.trace_end("submit")
             sns = tuple((j.channel.channel_id, j.desc.sn) for j in jobs)
             if self.supervision.active():
                 pending = fs.engine.event()
@@ -207,20 +232,32 @@ class OrderedAsyncWritePipeline:
     def run(self, ctx, m, offset: int, nbytes: int, payload):
         fs = self.fs
         yield from fs._charge_lock_contention(ctx)
-        prep = yield from self.planner.prepare_cow(ctx, m, offset, nbytes,
-                                                   payload)
+        ctx.trace_begin("plan")
+        try:
+            prep = yield from self.planner.prepare_cow(ctx, m, offset,
+                                                       nbytes, payload)
+        finally:
+            ctx.trace_end("plan")
         if not fs.cm.should_offload_write(nbytes):
             try:
                 self.stats.bump("memcpy_writes")
                 plan = self.planner.write_plan(m, prep)
-                yield from self.fallback.write(ctx, plan)
+                ctx.trace_begin("copy")
+                try:
+                    yield from self.fallback.write(ctx, plan)
+                finally:
+                    ctx.trace_end("copy")
                 yield from fs._commit_write(ctx, m, prep, sns=())
             finally:
                 m.lock.release_write()
             return OpResult(value=nbytes, ctx=ctx)
         self.stats.bump("dma_writes")
         plan = self.planner.write_plan(m, prep)
-        jobs = yield from self.backend.submit_write(ctx, plan)
+        ctx.trace_begin("submit")
+        try:
+            jobs = yield from self.backend.submit_write(ctx, plan)
+        finally:
+            ctx.trace_end("submit")
         pending = self.completion.pending([j.desc for j in jobs])
 
         def commit_syscall(ctx2):
@@ -264,7 +301,11 @@ class AsyncReadPipeline:
                 self.admission.note_degraded()
             plan = self.planner.read_plan_from_runs(m.ino, offset, nbytes,
                                                     runs)
-            jobs = yield from self.backend.read(ctx, plan, force_sync)
+            ctx.trace_begin("submit")
+            try:
+                jobs = yield from self.backend.read(ctx, plan, force_sync)
+            finally:
+                ctx.trace_end("submit")
             yield ctx.charge("metadata",
                                   fs.model.timestamp_update_cost)
             value = (fs._collect_data(m, offset, nbytes)

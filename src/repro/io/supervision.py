@@ -88,6 +88,10 @@ class FaultSupervisor:
         final_sns = tuple(j.final for j in jobs if j.final)
         if final_sns != orig_sns:
             self.image.amend_log_sns(m.ino, log_idx, final_sns)
+            tr = self.engine.tracer
+            if tr is not None:
+                tr.point("sn_amend", track="fs", ino=m.ino,
+                         old=orig_sns, new=final_sns)
             if m.pending_sns == orig_sns:
                 m.pending_sns = final_sns
         outer.succeed(None)
@@ -167,6 +171,10 @@ class FaultSupervisor:
         else:
             stats.degraded_reads += 1
         stats.degraded_bytes += j.nbytes
+        tr = self.engine.tracer
+        if tr is not None:
+            tr.point("degrade", track="fs", ino=ino, sn=j.desc.sn,
+                     ch=j.channel.channel_id, write=j.write)
         yield from self.memory.cpu_copy(j.nbytes, write=j.write,
                                         tag=("degrade", ino))
         if j.write:

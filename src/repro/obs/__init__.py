@@ -1,0 +1,43 @@
+"""Observability: sim-time tracing and trace-invariant oracles."""
+
+from repro.obs.trace import (
+    BEGIN,
+    END,
+    POINT,
+    TraceEvent,
+    Tracer,
+    default_tracing,
+)
+from repro.obs.oracles import (
+    ORACLES,
+    AckImpliesDurable,
+    ChannelSnOrder,
+    DeadlineAbortFinality,
+    Oracle,
+    SnCommitConsistency,
+    SpanCausality,
+    TraceChecker,
+    Violation,
+    assert_trace_ok,
+    register_oracle,
+)
+
+__all__ = [
+    "BEGIN",
+    "END",
+    "POINT",
+    "TraceEvent",
+    "Tracer",
+    "default_tracing",
+    "ORACLES",
+    "Oracle",
+    "Violation",
+    "TraceChecker",
+    "AckImpliesDurable",
+    "ChannelSnOrder",
+    "SnCommitConsistency",
+    "SpanCausality",
+    "DeadlineAbortFinality",
+    "assert_trace_ok",
+    "register_oracle",
+]

@@ -1,0 +1,229 @@
+"""Sim-time structured tracing: spans and point events, zero overhead
+when off.
+
+The tracer is *passive instrumentation*: it only ever appends records
+to an in-memory buffer.  It never schedules simulation events, charges
+CPU time, or perturbs any data structure the simulation reads -- so a
+traced run produces byte-identical summary metrics to an untraced one
+(the golden-equivalence tests pin this).
+
+Enabling/disabling works through the engine: every instrumentation
+site in the simulator reads ``engine.tracer`` and emits only when it
+is not None.  With the default (``None``) each site costs one
+attribute load and a None check -- nothing allocates, nothing is
+buffered.
+
+Two buffer modes:
+
+* **unbounded list** (``capacity=None``) -- for tests and short runs
+  that will be checked by :class:`~repro.obs.oracles.TraceChecker`;
+* **ring buffer** (``capacity=N``) -- a bounded ``deque`` keeping the
+  most recent N events, for long sweeps where only the tail (or only
+  the memory bound) matters.  ``dropped`` counts evictions.
+
+Export is Chrome-trace-event JSON (the format ``chrome://tracing`` and
+https://ui.perfetto.dev open directly): spans become ``B``/``E``
+pairs, points become instants, and each track becomes one row.
+
+Engines created *inside* library code (figure functions build their
+own :class:`~repro.hw.platform.Platform`) pick a tracer up through the
+module-level factory hook in :mod:`repro.sim.engine`; use
+:func:`default_tracing` to install one for a lexical scope::
+
+    with default_tracing(collect=tracers):
+        run_figure()            # every Engine created here is traced
+    for tr in tracers:
+        check(tr.events)
+
+This module is stdlib-only on purpose: :mod:`repro.sim.engine` must be
+importable without it, and it must be importable without the rest of
+the package.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+#: Event phases (mirroring the Chrome trace-event phase letters).
+BEGIN = "B"
+END = "E"
+POINT = "i"
+
+
+class TraceEvent:
+    """One trace record.
+
+    ``t`` is the simulated time in ns, ``ph`` the phase (``"B"``,
+    ``"E"``, ``"i"``), ``name`` the event/span name, ``track`` the row
+    it renders on, ``op`` the operation id tying an op's events
+    together across tracks (None for op-less hardware events), and
+    ``args`` the free-form payload the oracles consume.
+    """
+
+    __slots__ = ("t", "ph", "name", "track", "op", "args")
+
+    def __init__(self, t: int, ph: str, name: str, track: str,
+                 op: Optional[int], args: Optional[Dict[str, Any]]):
+        self.t = t
+        self.ph = ph
+        self.name = name
+        self.track = track
+        self.op = op
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        op = f" op={self.op}" if self.op is not None else ""
+        args = f" {self.args}" if self.args else ""
+        return f"<{self.ph} {self.name}@{self.t} [{self.track}]{op}{args}>"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against an engine's clock.
+
+    The engine is duck-typed: anything with an integer ``now`` works
+    (tests drive the checker with a hand-rolled stub clock).
+    """
+
+    def __init__(self, engine, capacity: Optional[int] = None):
+        self.engine = engine
+        self.capacity = capacity
+        if capacity is None:
+            self._buf: Any = []
+        else:
+            if capacity < 1:
+                raise ValueError(f"capacity must be >= 1, got {capacity}")
+            self._buf = deque(maxlen=capacity)
+        #: Total events ever emitted (>= len(events) in ring mode).
+        self.emitted = 0
+        self._next_op = 0
+
+    # -- buffer access ----------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer (0 in unbounded mode)."""
+        return self.emitted - len(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.emitted = 0
+
+    # -- ids --------------------------------------------------------
+    def next_op_id(self) -> int:
+        """A fresh operation id (unique within this tracer)."""
+        self._next_op += 1
+        return self._next_op
+
+    # -- emission ---------------------------------------------------
+    def emit(self, ph: str, name: str, track: str,
+             op: Optional[int], args: Optional[Dict[str, Any]]) -> None:
+        self.emitted += 1
+        self._buf.append(TraceEvent(self.engine.now, ph, name, track,
+                                    op, args))
+
+    def point(self, name: str, track: str = "main",
+              op: Optional[int] = None, **args) -> None:
+        """Emit an instantaneous event."""
+        self.emit(POINT, name, track, op, args or None)
+
+    def begin(self, name: str, track: str = "main",
+              op: Optional[int] = None, **args) -> None:
+        """Open a span (close it with :meth:`end`, LIFO per op/track)."""
+        self.emit(BEGIN, name, track, op, args or None)
+
+    def end(self, name: str, track: str = "main",
+            op: Optional[int] = None, **args) -> None:
+        """Close the innermost open span with this name."""
+        self.emit(END, name, track, op, args or None)
+
+    @contextmanager
+    def span(self, name: str, track: str = "main",
+             op: Optional[int] = None, **args):
+        """Context-managed begin/end pair (host-side ``with`` only --
+        do not hold it across simulation yields; instrumented
+        coroutines use explicit begin/end in try/finally instead)."""
+        self.begin(name, track, op, **args)
+        try:
+            yield self
+        finally:
+            self.end(name, track, op)
+
+    # -- export -----------------------------------------------------
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome-trace-event JSON object.
+
+        Timestamps convert from ns to the format's µs floats; each
+        track maps to one ``tid`` with a ``thread_name`` metadata
+        record so Perfetto labels the rows.
+        """
+        tids: Dict[str, int] = {}
+        out: List[Dict[str, Any]] = []
+        for ev in self._buf:
+            tid = tids.get(ev.track)
+            if tid is None:
+                tid = tids[ev.track] = len(tids) + 1
+            rec: Dict[str, Any] = {
+                "name": ev.name, "ph": ev.ph, "ts": ev.t / 1000.0,
+                "pid": 1, "tid": tid,
+            }
+            args = dict(ev.args) if ev.args else {}
+            if ev.op is not None:
+                args["op"] = ev.op
+            if args:
+                rec["args"] = args
+            if ev.ph == POINT:
+                rec["s"] = "t"  # instant scope: thread
+            out.append(rec)
+        meta = [{"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                 "args": {"name": track}} for track, tid in tids.items()]
+        return {"traceEvents": meta + out,
+                "displayTimeUnit": "ns",
+                "otherData": {"emitted": self.emitted,
+                              "dropped": self.dropped}}
+
+    def dump_json(self, path: str) -> str:
+        """Write the Chrome-trace JSON to ``path``; returns the path."""
+        with open(path, "w") as f:
+            json.dump(self.to_chrome(), f)
+        return path
+
+
+@contextmanager
+def default_tracing(capacity: Optional[int] = None,
+                    collect: Optional[list] = None):
+    """Trace every :class:`~repro.sim.engine.Engine` created in scope.
+
+    Installs a factory through :func:`repro.sim.engine.set_tracer_factory`
+    so engines built deep inside library code (figure sweeps construct
+    their own platforms) come up with a tracer attached.  Created
+    tracers are appended to ``collect`` when given, so the caller can
+    run the :class:`~repro.obs.oracles.TraceChecker` over each engine's
+    stream afterwards.
+
+    Restores the previous factory on exit (nesting works; the innermost
+    scope wins).
+    """
+    from repro.sim import engine as engine_mod
+
+    def factory(engine):
+        tracer = Tracer(engine, capacity=capacity)
+        if collect is not None:
+            collect.append(tracer)
+        return tracer
+
+    previous = engine_mod.get_tracer_factory()
+    engine_mod.set_tracer_factory(factory)
+    try:
+        yield
+    finally:
+        engine_mod.set_tracer_factory(previous)

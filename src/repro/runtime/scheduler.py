@@ -164,6 +164,12 @@ class CoreScheduler:
                 admission = self.runtime.admission
                 verdict = ("admit" if admission is None
                            else admission.admit(ut.priority))
+                if admission is not None:
+                    tr = self.engine.tracer
+                    if tr is not None:
+                        tr.point("admission",
+                                 track=f"core{self.core.core_id}",
+                                 verdict=verdict, ut=ut.name)
                 if verdict == "reject":
                     # Turned away at the gate: the syscall entry was
                     # still paid, then the error surfaces in the app.
@@ -199,6 +205,12 @@ class CoreScheduler:
                     ut.state = UthreadState.PARKED
                     ut.io_parked = True
                     ut.parks += 1
+                    tr = self.engine.tracer
+                    if tr is not None:
+                        op = result.ctx.op_id if result.ctx is not None \
+                            else None
+                        tr.point("park", track=f"core{self.core.core_id}",
+                                 op=op, ut=ut.name)
                     self._park(ut, result, admission)
                     return
                 if admission is not None:
@@ -214,6 +226,10 @@ class CoreScheduler:
         def on_complete(_event):
             if admission is not None:
                 admission.release()
+            tr = self.engine.tracer
+            if tr is not None:
+                op = result.ctx.op_id if result.ctx is not None else None
+                tr.point("wake", track="runtime", op=op, ut=ut.name)
             ut.io_parked = False
             continuation = getattr(result, "continuation", None)
             if continuation is not None:

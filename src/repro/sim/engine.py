@@ -84,6 +84,30 @@ _SEQ_LIMIT = 1 << _TIME_SHIFT
 #: cancelled entries are queued *and* they outnumber the live ones.
 _COMPACT_MIN_DEAD = 64
 
+#: When set, every new :class:`Engine` calls this with itself and
+#: stores the result as its ``tracer`` (see :func:`set_tracer_factory`).
+_TRACER_FACTORY: Optional[Callable[["Engine"], Any]] = None
+
+
+def set_tracer_factory(factory: Optional[Callable[["Engine"], Any]]) -> None:
+    """Install (or, with None, remove) the module-level tracer factory.
+
+    Figure sweeps construct their engines deep inside library code, so
+    callers that want those engines traced cannot attach a tracer by
+    hand; the factory hook closes that gap.  The engine module itself
+    never imports the tracing package -- the factory is an opaque
+    callable, keeping :mod:`repro.obs` strictly optional.  Prefer the
+    :func:`repro.obs.default_tracing` context manager, which saves and
+    restores the previous factory.
+    """
+    global _TRACER_FACTORY
+    _TRACER_FACTORY = factory
+
+
+def get_tracer_factory() -> Optional[Callable[["Engine"], Any]]:
+    """The currently-installed tracer factory (None when tracing is off)."""
+    return _TRACER_FACTORY
+
 
 class EngineStats:
     """Counters the engine maintains about its own operation.
@@ -106,6 +130,11 @@ class EngineStats:
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def reset(self) -> None:
+        """Zero every counter (for reusing an engine across runs)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -478,7 +507,7 @@ class Engine:
     """
 
     __slots__ = ("_now", "_queue", "_seq", "_active", "_sleep_pool",
-                 "_heap_dead", "_stats", "_done")
+                 "_heap_dead", "_stats", "_done", "tracer")
 
     def __init__(self):
         self._now: int = 0
@@ -489,6 +518,11 @@ class Engine:
         #: Cancelled entries currently sitting in the schedule heap.
         self._heap_dead: int = 0
         self._stats = EngineStats()
+        #: Structured tracer (see repro.obs), or None.  Every
+        #: instrumentation site guards on ``engine.tracer is not None``,
+        #: so the default costs one attribute load per site.
+        self.tracer = _TRACER_FACTORY(self) if _TRACER_FACTORY is not None \
+            else None
         # A permanently-processed no-op event (see the `done` property).
         done = Event(self)
         done._state = _PROCESSED
@@ -504,6 +538,14 @@ class Engine:
     def stats(self) -> EngineStats:
         """Counters: events fired / cancelled, heap compactions, ..."""
         return self._stats
+
+    def reset_stats(self) -> None:
+        """Zero the engine's counters (the clock and queue are untouched).
+
+        ``_heap_dead`` tracks live heap state, not history, so it is
+        deliberately left alone.
+        """
+        self._stats.reset()
 
     @property
     def done(self) -> Event:

@@ -3,12 +3,36 @@
 import pytest
 
 from repro.hw.platform import Platform, PlatformConfig
+from repro.obs import TraceChecker, default_tracing
 from repro.sim import Engine
 
 
 @pytest.fixture
 def engine():
     return Engine()
+
+
+@pytest.fixture
+def trace_oracles():
+    """Opt-in trace checking: every engine the test creates is traced,
+    and at teardown every trace is replayed through the full oracle set
+    (ack-implies-durable, SN ordering, span causality, ...).
+
+    List this fixture *before* any fixture that builds a Platform (or
+    build platforms inside the test body) so their engines are created
+    under the tracing scope.  Yields the list of live tracers, should
+    the test want to inspect the stream itself.
+    """
+    tracers = []
+    with default_tracing(collect=tracers):
+        yield tracers
+    checker = TraceChecker()
+    problems = []
+    for tr in tracers:
+        problems.extend(checker.check(tr.events))
+    assert not problems, (
+        f"{len(problems)} trace-invariant violation(s):\n"
+        + "\n".join(f"  {v}" for v in problems))
 
 
 @pytest.fixture

@@ -19,6 +19,7 @@ import os
 
 import pytest
 
+from repro.obs import default_tracing
 from tests.data.capture_golden import fig02, fig08, fig09
 
 GOLDEN = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -80,3 +81,29 @@ def test_fig09_parallel_runner_exact(golden):
     # perf harness runs its "fast" configuration.
     _assert_exact(fig09(elide=True, processes=2), golden["fig09"],
                   "fig09[elide+parallel]")
+
+
+# ---------------------------------------------------------------------------
+# Tracing is sim-time neutral: with a tracer attached to every engine
+# the fixed-seed summaries still match the goldens *exactly* -- the
+# tracer only appends to a buffer, it never perturbs the simulation.
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+def test_fig08_traced_exact(golden):
+    tracers = []
+    with default_tracing(collect=tracers):
+        actual = fig08()
+    _assert_exact(actual, golden["fig08"], "fig08[traced]")
+    assert sum(tr.emitted for tr in tracers) > 0, "nothing was traced"
+
+
+@pytest.mark.slow
+def test_fig09_traced_ring_buffer_exact(golden):
+    # Ring-buffer mode on a long sweep: bounded memory, same numbers.
+    capacity = 4096
+    tracers = []
+    with default_tracing(capacity=capacity, collect=tracers):
+        actual = fig09()
+    _assert_exact(actual, golden["fig09"], "fig09[traced+ring]")
+    assert tracers, "nothing was traced"
+    assert all(len(tr) <= capacity for tr in tracers)

@@ -1,0 +1,260 @@
+"""Tests for the sim-time tracer (repro.obs.trace): buffer modes,
+Chrome export, the engine factory hook, zero overhead when off, and
+sim-time neutrality when on.
+
+The negative test at the bottom is the whole point of the layer: a toy
+pipeline that acknowledges a write *before* its pages persisted is
+caught by the oracle set, where aggregate counters would look fine.
+"""
+
+import json
+from contextlib import nullcontext
+
+import pytest
+
+from repro.core import EasyIoFS
+from repro.fs import PMImage
+from repro.hw.platform import Platform, PlatformConfig
+from repro.obs import (
+    BEGIN,
+    END,
+    POINT,
+    Tracer,
+    assert_trace_ok,
+    default_tracing,
+)
+from repro.sim import Engine
+from repro.sim import engine as engine_mod
+from tests.conftest import run_proc
+
+
+class _Clock:
+    """Duck-typed engine stand-in: the tracer only reads ``now``."""
+
+    def __init__(self):
+        self.now = 0
+
+
+class TestBuffer:
+    def test_unbounded_collects_everything(self):
+        tr = Tracer(_Clock())
+        for i in range(100):
+            tr.point("tick", n=i)
+        assert len(tr) == 100
+        assert tr.emitted == 100
+        assert tr.dropped == 0
+        assert [ev.args["n"] for ev in tr.events] == list(range(100))
+
+    def test_ring_buffer_bounds_memory(self):
+        tr = Tracer(_Clock(), capacity=64)
+        for i in range(1000):
+            tr.point("tick", n=i)
+        assert len(tr) == 64
+        assert tr.emitted == 1000
+        assert tr.dropped == 936
+        # The ring keeps the most recent events, oldest first.
+        assert [ev.args["n"] for ev in tr.events] == list(range(936, 1000))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(_Clock(), capacity=0)
+
+    def test_clear_empties_and_resets_counters(self):
+        tr = Tracer(_Clock(), capacity=8)
+        for _ in range(20):
+            tr.point("tick")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.emitted == 0
+        assert tr.dropped == 0
+
+    def test_events_are_clock_stamped(self):
+        clk = _Clock()
+        tr = Tracer(clk)
+        tr.point("a")
+        clk.now = 1500
+        tr.point("b")
+        assert [ev.t for ev in tr.events] == [0, 1500]
+
+    def test_op_ids_are_unique(self):
+        tr = Tracer(_Clock())
+        ids = [tr.next_op_id() for _ in range(10)]
+        assert len(set(ids)) == 10
+
+
+class TestSpans:
+    def test_span_contextmanager_emits_matched_pair(self):
+        tr = Tracer(_Clock())
+        with tr.span("plan", track="op1", op=1, nbytes=4096):
+            tr.point("inner", track="op1", op=1)
+        phases = [(ev.ph, ev.name) for ev in tr.events]
+        assert phases == [(BEGIN, "plan"), (POINT, "inner"), (END, "plan")]
+        assert_trace_ok(tr.events)
+
+    def test_span_closes_on_exception(self):
+        tr = Tracer(_Clock())
+        with pytest.raises(RuntimeError):
+            with tr.span("plan", track="op1", op=1):
+                raise RuntimeError("boom")
+        assert [ev.ph for ev in tr.events] == [BEGIN, END]
+
+    def test_empty_args_stored_as_none(self):
+        tr = Tracer(_Clock())
+        tr.point("bare")
+        tr.point("loaded", k=1)
+        assert tr.events[0].args is None
+        assert tr.events[1].args == {"k": 1}
+
+
+class TestChromeExport:
+    def _sample(self):
+        clk = _Clock()
+        tr = Tracer(clk)
+        clk.now = 1500
+        tr.begin("write", track="op1", op=1, ino=3)
+        clk.now = 2000
+        tr.point("dma_submit", track="ch0", sn=1)
+        clk.now = 4500
+        tr.end("write", track="op1", op=1)
+        return tr
+
+    def test_structure_and_units(self):
+        doc = self._sample().to_chrome()
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        body = [e for e in events if e["ph"] != "M"]
+        # One thread_name metadata record per track.
+        assert {m["args"]["name"] for m in meta} == {"op1", "ch0"}
+        assert all(m["name"] == "thread_name" for m in meta)
+        # ns -> us timestamps; op id merged into args; instants scoped.
+        begin = next(e for e in body if e["ph"] == "B")
+        end = next(e for e in body if e["ph"] == "E")
+        instant = next(e for e in body if e["ph"] == "i")
+        assert begin["ts"] == 1.5 and end["ts"] == 4.5
+        assert begin["args"]["ino"] == 3
+        assert begin["args"]["op"] == 1
+        assert instant["s"] == "t"
+        # Events on the same track share a tid; tracks differ.
+        assert begin["tid"] == end["tid"]
+        assert begin["tid"] != instant["tid"]
+        assert doc["otherData"] == {"emitted": 3, "dropped": 0}
+
+    def test_dump_json_round_trips(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert self._sample().dump_json(path) == path
+        with open(path) as f:
+            doc = json.load(f)
+        assert len(doc["traceEvents"]) == 5  # 2 metadata + 3 events
+
+
+class TestDefaultTracing:
+    def test_engine_untraced_by_default(self):
+        assert Engine().tracer is None
+
+    def test_scope_traces_created_engines(self):
+        tracers = []
+        with default_tracing(collect=tracers):
+            engine = Engine()
+        assert engine.tracer is not None
+        assert tracers == [engine.tracer]
+        # The factory is uninstalled on exit.
+        assert Engine().tracer is None
+        assert engine_mod.get_tracer_factory() is None
+
+    def test_capacity_reaches_created_tracers(self):
+        with default_tracing(capacity=16):
+            engine = Engine()
+        assert engine.tracer.capacity == 16
+
+    def test_nested_scopes_restore_previous(self):
+        outer, inner = [], []
+        with default_tracing(collect=outer):
+            with default_tracing(collect=inner):
+                Engine()
+            engine = Engine()
+        assert len(inner) == 1
+        assert outer == [engine.tracer]
+
+
+# ---------------------------------------------------------------------------
+# Tracing a real run: sim-time neutrality and bounded memory.
+# ---------------------------------------------------------------------------
+def _workload(fs):
+    ino = yield from fs.create(fs.context(), "/t")
+    for i in range(4):
+        data = bytes([i]) * 16384
+        result = yield from fs.write(fs.context(), ino, i * 16384,
+                                     len(data), data)
+        if result.is_async:
+            yield result.pending
+    result = yield from fs.read(fs.context(), ino, 0, 65536,
+                                want_data=True)
+    if result.is_async:
+        yield result.pending
+    return result.value
+
+
+def _run_easyio(traced, capacity=None):
+    tracers = []
+    scope = default_tracing(capacity=capacity, collect=tracers) \
+        if traced else nullcontext()
+    with scope:
+        platform = Platform(PlatformConfig.single_node())
+        fs = EasyIoFS(platform, PMImage()).mount()
+    data = run_proc(fs.engine, _workload(fs))
+    return fs.engine.now, fs.ops_completed, data, tracers
+
+
+class TestTracedRun:
+    def test_sim_time_neutrality(self):
+        """A traced run is byte-identical to an untraced one: same final
+        clock, same op count, same data read back."""
+        base_now, base_ops, base_data, _ = _run_easyio(traced=False)
+        now, ops, data, tracers = _run_easyio(traced=True)
+        assert (now, ops, data) == (base_now, base_ops, base_data)
+        assert tracers and tracers[0].emitted > 0
+        assert_trace_ok(tracers[0].events)
+
+    def test_ring_buffer_bounded_in_real_run(self):
+        now, _ops, _data, tracers = _run_easyio(traced=True, capacity=16)
+        base_now, *_ = _run_easyio(traced=False)
+        tr = tracers[0]
+        assert len(tr) <= 16
+        assert tr.emitted > 16 and tr.dropped == tr.emitted - len(tr)
+        assert now == base_now  # ring eviction is sim-time neutral too
+
+
+# ---------------------------------------------------------------------------
+# The negative test: a broken ordering must be *caught*.
+# ---------------------------------------------------------------------------
+class TestBrokenPipelineIsCaught:
+    def _toy_trace(self, ack_before_persist):
+        """A hand-rolled toy write pipeline: submit -> commit -> persist
+        -> complete -> ack, with the ack optionally hoisted before the
+        persist (the classic lost-durability bug)."""
+        clk = _Clock()
+        tr = Tracer(clk)
+        op = tr.next_op_id()
+        clk.now = 10
+        tr.point("dma_submit", track="ch0", sn=1, nbytes=8192, write=True)
+        clk.now = 20
+        tr.point("write_commit", track="fs", op=op, ino=3,
+                 pids=[100, 101], sns=[(0, 1)])
+        if ack_before_persist:
+            clk.now = 30
+            tr.point("write_ack", track="fs", op=op, ino=3)
+        clk.now = 40
+        tr.point("pages_persist", track="persist", pids=[100, 101])
+        tr.point("dma_complete", track="ch0", sn=1)
+        if not ack_before_persist:
+            clk.now = 50
+            tr.point("write_ack", track="fs", op=op, ino=3)
+        return tr
+
+    def test_correct_ordering_passes(self):
+        assert_trace_ok(self._toy_trace(ack_before_persist=False).events)
+
+    def test_ack_before_persist_is_flagged(self):
+        tr = self._toy_trace(ack_before_persist=True)
+        with pytest.raises(AssertionError, match="ack-implies-durable"):
+            assert_trace_ok(tr.events)

@@ -1,0 +1,349 @@
+"""Tests for the trace-invariant oracles (repro.obs.oracles).
+
+Each oracle gets a violation test (hand-built stream that breaks the
+invariant) and a legality test (the nearest *legal* stream, so the
+oracle is shown to be tight, not just noisy).  The bottom runs a mixed
+workload on every filesystem variant under the ``trace_oracles``
+fixture -- the real instrumentation streams must be clean.
+"""
+
+import pytest
+
+from repro.hw.platform import Platform, PlatformConfig
+from repro.obs import ORACLES, Oracle, TraceChecker, Tracer, register_oracle
+from repro.workloads.factory import FS_KINDS, make_fs
+from tests.conftest import run_proc
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0
+
+
+def _tracer():
+    return Tracer(_Clock())
+
+
+def _check(tr, oracle):
+    return TraceChecker([oracle]).check(tr.events)
+
+
+class TestAckImpliesDurable:
+    ORACLE = "ack-implies-durable"
+
+    def test_ack_after_persist_is_legal(self):
+        tr = _tracer()
+        tr.point("write_commit", track="fs", op=1, ino=2, pids=[7],
+                 sns=[])
+        tr.point("pages_persist", track="persist", pids=[7])
+        tr.point("write_ack", track="fs", op=1, ino=2)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_ack_with_missing_page_flagged(self):
+        tr = _tracer()
+        tr.point("write_commit", track="fs", op=1, ino=2, pids=[7, 8],
+                 sns=[])
+        tr.point("pages_persist", track="persist", pids=[7])
+        tr.point("write_ack", track="fs", op=1, ino=2)
+        [v] = _check(tr, self.ORACLE)
+        assert "non-durable pages [8]" in v.message
+
+    def test_metadata_only_op_skipped(self):
+        # No commit recorded for the op (create, or the Naive ablation's
+        # commit-after-ack continuation): nothing to check at the ack.
+        tr = _tracer()
+        tr.point("write_ack", track="fs", op=1, ino=2)
+        assert _check(tr, self.ORACLE) == []
+
+
+class TestChannelSnOrder:
+    ORACLE = "channel-sn-order"
+
+    def _submit(self, tr, sn, track="ch0"):
+        tr.point("dma_submit", track=track, sn=sn, nbytes=4096,
+                 write=True)
+
+    def test_fifo_completion_is_legal(self):
+        tr = _tracer()
+        for sn in (1, 2, 3):
+            self._submit(tr, sn)
+        for sn in (1, 2, 3):
+            tr.point("dma_complete", track="ch0", sn=sn)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_non_increasing_submit_flagged(self):
+        tr = _tracer()
+        self._submit(tr, 2)
+        self._submit(tr, 2)
+        [v] = _check(tr, self.ORACLE)
+        assert "submit sn 2 not above previous 2" in v.message
+
+    def test_completion_before_submit_flagged(self):
+        tr = _tracer()
+        tr.point("dma_complete", track="ch0", sn=1)
+        [v] = _check(tr, self.ORACLE)
+        assert "completed before submit" in v.message
+
+    def test_double_completion_flagged(self):
+        tr = _tracer()
+        self._submit(tr, 1)
+        tr.point("dma_complete", track="ch0", sn=1)
+        tr.point("dma_complete", track="ch0", sn=1)
+        [v] = _check(tr, self.ORACLE)
+        assert "not above previous completion" in v.message
+
+    def test_jump_past_live_sn_flagged(self):
+        tr = _tracer()
+        for sn in (1, 2, 3):
+            self._submit(tr, sn)
+        tr.point("dma_complete", track="ch0", sn=1)
+        tr.point("dma_complete", track="ch0", sn=3)  # sn 2 is still live
+        [v] = _check(tr, self.ORACLE)
+        assert "jumped past live SNs [2]" in v.message
+
+    def test_jump_past_failed_sn_is_legal(self):
+        tr = _tracer()
+        for sn in (1, 2, 3):
+            self._submit(tr, sn)
+        tr.point("dma_complete", track="ch0", sn=1)
+        tr.point("dma_fault", track="ch0", sn=2, fault="transfer",
+                 halting=False)
+        tr.point("dma_complete", track="ch0", sn=3)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_jump_past_reset_stranded_sns_is_legal(self):
+        tr = _tracer()
+        for sn in (1, 2, 3):
+            self._submit(tr, sn)
+        tr.point("dma_reset", track="ch0", sns=[1, 2])
+        tr.point("dma_complete", track="ch0", sn=3)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_channels_are_independent(self):
+        tr = _tracer()
+        self._submit(tr, 1, track="ch0")
+        self._submit(tr, 1, track="ch1")
+        tr.point("dma_complete", track="ch1", sn=1)
+        tr.point("dma_complete", track="ch0", sn=1)
+        assert _check(tr, self.ORACLE) == []
+
+
+class TestSnCommitConsistency:
+    ORACLE = "sn-commit-consistency"
+
+    def test_commit_of_submitted_sn_is_legal(self):
+        tr = _tracer()
+        tr.point("dma_submit", track="ch0", sn=1, nbytes=4096, write=True)
+        tr.point("write_commit", track="fs", op=1, ino=5, pids=[9],
+                 sns=[(0, 1)])
+        assert _check(tr, self.ORACLE) == []
+
+    def test_commit_of_unsubmitted_sn_flagged(self):
+        tr = _tracer()
+        tr.point("write_commit", track="fs", op=1, ino=5, pids=[9],
+                 sns=[(0, 1)])
+        [v] = _check(tr, self.ORACLE)
+        assert "embeds unsubmitted ch0/sn1" in v.message
+
+    def test_per_inode_sn_monotonicity_flagged(self):
+        tr = _tracer()
+        for sn in (1, 2):
+            tr.point("dma_submit", track="ch0", sn=sn, nbytes=4096,
+                     write=True)
+        tr.point("write_commit", track="fs", op=1, ino=5, pids=[9],
+                 sns=[(0, 2)])
+        tr.point("write_commit", track="fs", op=2, ino=5, pids=[10],
+                 sns=[(0, 1)])  # older sn re-committed on the same inode
+        [v] = _check(tr, self.ORACLE)
+        assert "sn 1 on ch0 not above previous 2" in v.message
+
+    def _failover(self, tr, amend_old, amend_new):
+        tr.point("dma_submit", track="ch0", sn=1, nbytes=4096, write=True)
+        tr.point("write_commit", track="fs", op=1, ino=5, pids=[9],
+                 sns=[(0, 1)])
+        tr.point("dma_fault", track="ch0", sn=1, fault="transfer",
+                 halting=False)
+        tr.point("dma_submit", track="ch1", sn=1, nbytes=4096, write=True)
+        tr.point("sn_amend", track="fs", ino=5, old=amend_old,
+                 new=amend_new)
+
+    def test_failover_amend_is_legal(self):
+        tr = _tracer()
+        self._failover(tr, amend_old=[(0, 1)], amend_new=[(1, 1)])
+        assert _check(tr, self.ORACLE) == []
+
+    def test_amend_with_stale_old_tuple_flagged(self):
+        tr = _tracer()
+        self._failover(tr, amend_old=[(0, 99)], amend_new=[(1, 1)])
+        violations = _check(tr, self.ORACLE)
+        assert any("amend replaces" in v.message for v in violations)
+
+    def test_amend_onto_poisoned_sn_flagged(self):
+        tr = _tracer()
+        self._failover(tr, amend_old=[(0, 1)], amend_new=[(0, 1)])
+        [v] = _check(tr, self.ORACLE)
+        assert "poisoned ch0/sn1" in v.message
+
+    def test_amend_onto_unsubmitted_sn_flagged(self):
+        tr = _tracer()
+        self._failover(tr, amend_old=[(0, 1)], amend_new=[(1, 7)])
+        [v] = _check(tr, self.ORACLE)
+        assert "unsubmitted ch1/sn7" in v.message
+
+
+class TestSpanCausality:
+    ORACLE = "span-causality"
+
+    def test_nested_spans_are_legal(self):
+        tr = _tracer()
+        tr.begin("write", track="op1", op=1)
+        tr.begin("plan", track="op1", op=1)
+        tr.end("plan", track="op1", op=1)
+        tr.end("write", track="op1", op=1)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_end_without_begin_flagged(self):
+        tr = _tracer()
+        tr.end("write", track="op1", op=1)
+        [v] = _check(tr, self.ORACLE)
+        assert "no open span" in v.message
+
+    def test_interleaved_close_flagged(self):
+        tr = _tracer()
+        tr.begin("write", track="op1", op=1)
+        tr.begin("plan", track="op1", op=1)
+        tr.end("write", track="op1", op=1)  # closes over the open plan
+        [v] = _check(tr, self.ORACLE)
+        assert "innermost open span is 'plan'" in v.message
+
+    def test_unclosed_span_at_eof_is_legal(self):
+        # Truncated run(until=...) sweeps abandon in-flight ops.
+        tr = _tracer()
+        tr.begin("write", track="op1", op=1)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_ops_have_independent_stacks(self):
+        tr = _tracer()
+        tr.begin("write", track="op1", op=1)
+        tr.begin("write", track="op2", op=2)
+        tr.end("write", track="op1", op=1)
+        tr.end("write", track="op2", op=2)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_park_wake_pairing_is_legal(self):
+        tr = _tracer()
+        tr.point("park", track="core0", op=1, ut="w0")
+        tr.point("wake", track="runtime", op=1, ut="w0")
+        tr.point("park", track="core0", op=2, ut="w0")
+        tr.point("wake", track="runtime", op=2, ut="w0")
+        assert _check(tr, self.ORACLE) == []
+
+    def test_wake_without_park_flagged(self):
+        tr = _tracer()
+        tr.point("wake", track="runtime", op=1, ut="w0")
+        [v] = _check(tr, self.ORACLE)
+        assert "woken without a park" in v.message
+
+    def test_double_park_flagged(self):
+        tr = _tracer()
+        tr.point("park", track="core0", op=1, ut="w0")
+        tr.point("park", track="core0", op=2, ut="w0")
+        [v] = _check(tr, self.ORACLE)
+        assert "parked while parked" in v.message
+
+
+class TestDeadlineAbortFinality:
+    ORACLE = "deadline-abort-finality"
+
+    def test_abort_then_silence_is_legal(self):
+        tr = _tracer()
+        tr.point("deadline_abort", track="fs", op=1, what="write")
+        tr.point("write_ack", track="fs", op=2, ino=3)  # a different op
+        assert _check(tr, self.ORACLE) == []
+
+    @pytest.mark.parametrize("effect", ["write_commit", "write_ack"])
+    def test_effect_after_abort_flagged(self, effect):
+        tr = _tracer()
+        tr.point("deadline_abort", track="fs", op=1, what="write")
+        tr.point(effect, track="fs", op=1, ino=3, pids=[], sns=[])
+        [v] = _check(tr, self.ORACLE)
+        assert f"emitted {effect} after its deadline abort" in v.message
+
+
+class TestChecker:
+    def test_subset_by_name_runs_only_those(self):
+        tr = _tracer()
+        tr.point("dma_complete", track="ch0", sn=1)  # sn-order breach
+        tr.end("write", track="op1", op=1)           # causality breach
+        only_spans = TraceChecker(["span-causality"]).check(tr.events)
+        assert [v.oracle for v in only_spans] == ["span-causality"]
+
+    def test_checker_is_reusable(self):
+        checker = TraceChecker()
+        tr = _tracer()
+        tr.point("dma_complete", track="ch0", sn=1)
+        assert checker.check(tr.events)
+        assert checker.check(tr.events)  # fresh oracle state per call
+
+    def test_violations_sorted_by_stream_position(self):
+        tr = _tracer()
+        tr.end("write", track="op1", op=1)
+        tr.point("dma_complete", track="ch0", sn=1)
+        violations = TraceChecker().check(tr.events)
+        assert [v.index for v in violations] == \
+            sorted(v.index for v in violations)
+
+    def test_register_oracle_extends_default_set(self):
+        @register_oracle
+        class NoFrobnicate(Oracle):
+            name = "no-frobnicate"
+
+            def feed(self, ev):
+                if ev.name == "frobnicate":
+                    self.flag(ev, "frobnication observed")
+
+        try:
+            tr = _tracer()
+            tr.point("frobnicate", track="fs")
+            violations = TraceChecker().check(tr.events)
+            assert [v.oracle for v in violations] == ["no-frobnicate"]
+        finally:
+            del ORACLES["no-frobnicate"]
+
+
+# ---------------------------------------------------------------------------
+# The real instrumentation: every variant's stream must be clean.
+# ---------------------------------------------------------------------------
+def _settle(fs, result):
+    if result.is_async:
+        yield result.pending
+    continuation = getattr(result, "continuation", None)
+    if continuation is not None:
+        yield from continuation(fs.context())
+
+
+def _mixed_workload(fs):
+    ino = yield from fs.create(fs.context(), "/mix")
+    sizes = (2048, 16384, 65536, 300, 8192)
+    for i, nbytes in enumerate(sizes):
+        payload = bytes([i + 1]) * nbytes
+        result = yield from fs.write(fs.context(), ino, i * 4096,
+                                     nbytes, payload)
+        yield from _settle(fs, result)
+    result = yield from fs.read(fs.context(), ino, 0, 65536,
+                                want_data=True)
+    yield from _settle(fs, result)
+    yield from fs.truncate(fs.context(), ino, 10000)
+    result = yield from fs.write(fs.context(), ino, 9000, 20000,
+                                 bytes(20000))
+    yield from _settle(fs, result)
+
+
+@pytest.mark.parametrize("kind", FS_KINDS)
+def test_variant_stream_passes_all_oracles(trace_oracles, kind):
+    """The fixture replays every engine's trace through the full oracle
+    set at teardown; the test only has to run the workload traced."""
+    platform = Platform(PlatformConfig.single_node())
+    fs = make_fs(kind, platform)
+    run_proc(fs.engine, _mixed_workload(fs))
+    assert trace_oracles and trace_oracles[0].emitted > 0
