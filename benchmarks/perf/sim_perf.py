@@ -12,7 +12,9 @@ script measures how fast the simulator runs on the host:
 * ``fig09_sweep_fast``: the same sweep in payload-elision mode through
   the parallel sweep runner -- the configuration performance sweeps
   should use.  The harness asserts its summaries are identical to the
-  serial run's before trusting its timing.
+  serial run's before trusting its timing;
+* ``replication``: one traced 3-node crash-failover run, cluster
+  oracle replay included (the DESIGN.md §12 layer's wall-clock unit).
 
 Results land in ``BENCH_sim_perf.json`` at the repo root (committed,
 so CI can gate on regressions).  Usage::
@@ -137,6 +139,27 @@ def bench_fig09(repeat: int, duration_us: int, warmup_us: int) -> dict:
     }
 
 
+def bench_replication(repeat: int) -> dict:
+    """One traced crash-failover replication run, oracle replay
+    included -- the cluster layer's wall-clock unit."""
+    from repro.net import NodeCrashFault
+    from repro.workloads.replication import (ReplicationConfig,
+                                             run_replication)
+
+    def run():
+        res = run_replication(ReplicationConfig(
+            n_clients=2, writes_per_client=12, seed=42,
+            schedule=(NodeCrashFault(0, at_ns=2_000_000,
+                                     down_ns=15_000_000),)))
+        if not (res.drained and res.goodput == 1.0
+                and not res.violations):
+            raise SystemExit("FAIL: replication bench run misbehaved")
+        return res
+
+    wall, _ = _best_of(repeat, run)
+    return {"wall_s": round(wall, 4)}
+
+
 # ----------------------------------------------------------------------
 # Report / regression gate
 # ----------------------------------------------------------------------
@@ -146,6 +169,7 @@ def measure(quick: bool, repeat: int) -> dict:
     engine = bench_engine(events)
     fig08 = bench_fig08_probe(repeat)
     fig09 = bench_fig09(repeat, duration_us, warmup_us)
+    repl = bench_replication(repeat)
     report = {
         "mode": "quick" if quick else "full",
         "host_cpus": os.cpu_count() or 1,
@@ -154,6 +178,7 @@ def measure(quick: bool, repeat: int) -> dict:
             "fig08_probe": fig08,
             "fig09_sweep_serial": fig09["fig09_sweep_serial"],
             "fig09_sweep_fast": fig09["fig09_sweep_fast"],
+            "replication": repl,
         },
         "fig09_points": fig09["points"],
         "speedup_fast_vs_serial": fig09["speedup_fast_vs_serial"],
@@ -188,7 +213,8 @@ def check(report: dict, baseline_path: str) -> int:
               f"{report['mode']!r}; fast-vs-serial ratio {ratio:.2f} ok")
         return 0
     failures = []
-    for name in ("fig08_probe", "fig09_sweep_serial", "fig09_sweep_fast"):
+    for name in ("fig08_probe", "fig09_sweep_serial", "fig09_sweep_fast",
+                 "replication"):
         base = baseline.get("figures", {}).get(name, {}).get("wall_s")
         new = report["figures"][name]["wall_s"]
         if base and new > base * REGRESSION_MAX:

@@ -17,6 +17,9 @@ from repro.faults.plan import (
     TransferErrorFault,
     CHAN_HALT,
     XFER_ERROR,
+    check_non_negative,
+    check_probability,
+    check_windows_disjoint,
 )
 
 __all__ = [
@@ -27,4 +30,7 @@ __all__ = [
     "MediaFault",
     "TransferErrorFault",
     "XFER_ERROR",
+    "check_non_negative",
+    "check_probability",
+    "check_windows_disjoint",
 ]

@@ -23,6 +23,44 @@ BW_DEGRADE = "bw_degrade"   # transient device bandwidth loss
 MEDIA = "media"             # a page write persists garbage
 
 
+# ----------------------------------------------------------------------
+# Plan-input validators (shared with repro.net.plan.NetFaultPlan)
+# ----------------------------------------------------------------------
+def check_probability(name: str, p: float) -> float:
+    """``p`` must lie in [0, 1]; returns it for inline use."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be a probability, got {p}")
+    return p
+
+
+def check_non_negative(name: str, value) -> int:
+    """``value`` must be >= 0; returns it for inline use."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_windows_disjoint(windows, what: str) -> None:
+    """Reject overlapping ``(start_ns, duration_ns)`` windows.
+
+    ``windows`` is an iterable of ``(start_ns, duration_ns)`` pairs that
+    act on the same underlying resource (a device's bandwidth, one
+    partition group, one node's up/down state).  Overlapping windows are
+    almost always a plan bug: the first window to end resets the
+    resource while the second is still notionally active, so the
+    combined effect silently differs from either window alone.  Fails
+    with a ``ValueError`` naming both offenders instead.
+    """
+    spans = sorted((check_non_negative(f"{what} start_ns", s),
+                    s + check_non_negative(f"{what} duration_ns", d))
+                   for s, d in windows)
+    for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+        if s1 < e0:
+            raise ValueError(
+                f"overlapping {what} windows: [{s0}, {e0}) and "
+                f"[{s1}, {e1}) ns")
+
+
 @dataclass(frozen=True)
 class TransferErrorFault:
     """Fail the descriptor with sequence number ``at_sn`` on a channel."""
@@ -88,10 +126,8 @@ class FaultPlan:
         for name, p in (("p_xfer_error", p_xfer_error),
                         ("p_chan_halt", p_chan_halt),
                         ("p_media", p_media)):
-            if not 0.0 <= p <= 1.0:
-                raise ValueError(f"{name} must be a probability, got {p}")
-        if max_faults < 0:
-            raise ValueError(f"max_faults must be >= 0, got {max_faults}")
+            check_probability(name, p)
+        check_non_negative("max_faults", max_faults)
         self.seed = seed
         self.p_xfer_error = p_xfer_error
         self.p_chan_halt = p_chan_halt
@@ -102,16 +138,38 @@ class FaultPlan:
         self._sched_bw: List[BandwidthFault] = []
         self._sched_media: set = set()
         for f in schedule:
-            if isinstance(f, TransferErrorFault):
-                self._sched_desc[(f.channel_id, f.at_sn)] = XFER_ERROR
-            elif isinstance(f, ChannelHaltFault):
-                self._sched_desc[(f.channel_id, f.at_sn)] = CHAN_HALT
+            if isinstance(f, (TransferErrorFault, ChannelHaltFault)):
+                check_non_negative("channel_id", f.channel_id)
+                if f.at_sn < 1:
+                    raise ValueError(
+                        f"at_sn must be >= 1 (SNs are 1-based), got {f.at_sn}")
+                key = (f.channel_id, f.at_sn)
+                if key in self._sched_desc:
+                    raise ValueError(
+                        f"conflicting scheduled faults for channel "
+                        f"{f.channel_id} sn {f.at_sn}")
+                self._sched_desc[key] = (XFER_ERROR
+                                         if isinstance(f, TransferErrorFault)
+                                         else CHAN_HALT)
             elif isinstance(f, BandwidthFault):
+                check_non_negative("start_ns", f.start_ns)
+                check_non_negative("duration_ns", f.duration_ns)
+                if not 0.0 <= f.factor <= 1.0:
+                    raise ValueError(
+                        f"bandwidth factor must be in [0, 1], got {f.factor}")
                 self._sched_bw.append(f)
             elif isinstance(f, MediaFault):
+                if f.at_write < 1:
+                    raise ValueError(
+                        f"at_write must be >= 1 (1-based), got {f.at_write}")
                 self._sched_media.add(f.at_write)
             else:
                 raise TypeError(f"unknown fault spec: {f!r}")
+        # All bandwidth windows scale the same memory device, so they
+        # must not overlap (the first to end would restore full
+        # bandwidth out from under the second).
+        check_windows_disjoint(((f.start_ns, f.duration_ns)
+                                for f in self._sched_bw), "bandwidth")
         self._desc_rng: Dict[int, random.Random] = {}
         self._media_rng = random.Random(f"{seed}:media")
         self._page_writes = 0

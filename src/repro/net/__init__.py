@@ -1,0 +1,58 @@
+"""Multi-node EasyIO: replicated log shipping over a simulated network.
+
+Layers (DESIGN.md §12):
+
+* :mod:`repro.net.network` -- a deterministic full-mesh message
+  network with per-link latency/bandwidth, UDP delivery semantics,
+  and partition/crash hooks;
+* :mod:`repro.net.plan` -- seeded, replayable network fault plans
+  (message drop/duplicate/delay, link partitions, node crashes),
+  sharing input validation with :mod:`repro.faults`;
+* :mod:`repro.net.replica` -- primary/backup log shipping that
+  transplants the single-node SN/commit discipline across nodes:
+  SN-ordered apply, quorum acks, truncate-on-divergence catch-up;
+* :mod:`repro.net.cluster` -- cluster assembly, the lease service
+  (one epoch per primary), and the retrying client protocol.
+"""
+
+from repro.net.cluster import Cluster, ClusterConfig, LeaseService, LEASE_NODE
+from repro.net.network import Endpoint, HEADER_BYTES, Network, NetStats
+from repro.net.plan import (
+    NetFaultPlan,
+    NodeCrashFault,
+    PartitionFault,
+)
+from repro.net.replica import (
+    BACKUP,
+    CANDIDATE,
+    PRIMARY,
+    ClientResp,
+    ClientWrite,
+    LogRecord,
+    ReplicaNode,
+    Ship,
+    ShipAck,
+)
+
+__all__ = [
+    "BACKUP",
+    "CANDIDATE",
+    "ClientResp",
+    "ClientWrite",
+    "Cluster",
+    "ClusterConfig",
+    "Endpoint",
+    "HEADER_BYTES",
+    "LEASE_NODE",
+    "LeaseService",
+    "LogRecord",
+    "NetFaultPlan",
+    "NetStats",
+    "Network",
+    "NodeCrashFault",
+    "PRIMARY",
+    "PartitionFault",
+    "ReplicaNode",
+    "Ship",
+    "ShipAck",
+]

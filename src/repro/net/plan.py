@@ -1,0 +1,261 @@
+"""Seeded network fault plans: replayable message/link/node failures.
+
+The determinism contract mirrors :class:`repro.faults.plan.FaultPlan`:
+given the same seed and the same traffic, a :class:`NetFaultPlan`
+injects the same faults at the same simulated instants.  Message-level
+randomness (drop/duplicate/delay) comes from one private
+``random.Random`` stream per directed link, consulted once per send in
+send order, so the injection sequence is a pure function of the seed
+and the (deterministic) traffic.
+
+Scheduled faults are explicit windows:
+
+* :class:`PartitionFault` cuts every link between ``group`` and the
+  rest of the cluster for ``duration_ns`` (the heal is implicit at the
+  window's end) -- ``partition``/``heal`` trace points mark both edges;
+* :class:`NodeCrashFault` takes a node down at ``at_ns`` and restarts
+  it ``down_ns`` later (``down_ns=None`` = never), via the cluster's
+  crash/restart hooks -- durable state survives, volatile state and
+  queued messages do not.
+
+Input validation is shared with the hardware fault plan
+(:func:`~repro.faults.plan.check_probability` and friends): negative
+durations, overlapping windows on the same group/node, and
+out-of-range rates all fail fast with ``ValueError`` instead of deep
+inside a sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import (
+    check_non_negative,
+    check_probability,
+    check_windows_disjoint,
+)
+
+#: Fault kinds as they appear in the plan's injection trace.
+DROP = "net_drop"
+DUP = "net_dup"
+DELAY = "net_delay"
+PARTITION = "partition"
+HEAL = "heal"
+CRASH = "node_crash"
+RESTART = "node_restart"
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Cut every link between ``group`` and the rest for a window."""
+
+    start_ns: int
+    duration_ns: int
+    group: Tuple[Any, ...]
+
+    def __post_init__(self):
+        check_non_negative("start_ns", self.start_ns)
+        check_non_negative("duration_ns", self.duration_ns)
+        if not self.group:
+            raise ValueError("partition group must name at least one node")
+
+
+@dataclass(frozen=True)
+class NodeCrashFault:
+    """Crash ``node`` at ``at_ns``; restart after ``down_ns`` (None =
+    never)."""
+
+    node: Any
+    at_ns: int
+    down_ns: Optional[int] = None
+
+    def __post_init__(self):
+        check_non_negative("at_ns", self.at_ns)
+        if self.down_ns is not None:
+            check_non_negative("down_ns", self.down_ns)
+
+
+class NetFaultPlan:
+    """One run's worth of injected network faults.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every probabilistic decision.
+    p_drop / p_dup:
+        Per-message probabilities of a drop / a duplicate delivery.
+    p_delay / delay_ns:
+        Per-message probability of an extra delay, drawn uniformly in
+        ``[1, delay_ns]`` from the link's stream.
+    schedule:
+        Explicit :class:`PartitionFault` / :class:`NodeCrashFault`
+        windows; these always fire (not counted against ``max_faults``).
+    max_faults:
+        Cap on probabilistic injections, so retry/retransmit loops
+        always converge once the budget is spent.
+    """
+
+    def __init__(self, seed: int = 0,
+                 p_drop: float = 0.0,
+                 p_dup: float = 0.0,
+                 p_delay: float = 0.0,
+                 delay_ns: int = 50_000,
+                 schedule: Sequence[Any] = (),
+                 max_faults: int = 64):
+        for name, p in (("p_drop", p_drop), ("p_dup", p_dup),
+                        ("p_delay", p_delay)):
+            check_probability(name, p)
+        check_non_negative("max_faults", max_faults)
+        if delay_ns < 1:
+            raise ValueError(f"delay_ns must be >= 1, got {delay_ns}")
+        self.seed = seed
+        self.p_drop = p_drop
+        self.p_dup = p_dup
+        self.p_delay = p_delay
+        self.delay_ns = delay_ns
+        self.max_faults = max_faults
+        self._budget = max_faults
+        self._partitions: List[PartitionFault] = []
+        self._crashes: List[NodeCrashFault] = []
+        for f in schedule:
+            if isinstance(f, PartitionFault):
+                self._partitions.append(f)
+            elif isinstance(f, NodeCrashFault):
+                self._crashes.append(f)
+            else:
+                raise TypeError(f"unknown net fault spec: {f!r}")
+        # Overlap rules: windows isolating the same group, and
+        # crash windows of the same node, must be disjoint.
+        by_group: Dict[Tuple, List] = {}
+        for f in self._partitions:
+            by_group.setdefault(tuple(sorted(map(str, f.group))),
+                                []).append((f.start_ns, f.duration_ns))
+        for group, windows in by_group.items():
+            check_windows_disjoint(windows, f"partition({'|'.join(group)})")
+        by_node: Dict[Any, List] = {}
+        for f in self._crashes:
+            down = f.down_ns if f.down_ns is not None else 0
+            by_node.setdefault(f.node, []).append((f.at_ns, down))
+        for node, windows in by_node.items():
+            check_windows_disjoint(windows, f"crash(node {node})")
+        self._link_rng: Dict[Tuple[Any, Any], random.Random] = {}
+        self._engine = None
+        self._network = None
+        #: (time, kind, *detail) in injection order -- the determinism
+        #: property compares this across runs.
+        self.trace: List[Tuple] = []
+        #: Injection counts by kind.
+        self.injected: Dict[str, int] = {DROP: 0, DUP: 0, DELAY: 0,
+                                         PARTITION: 0, CRASH: 0}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, network, cluster=None) -> "NetFaultPlan":
+        """Attach to a network (and optionally the cluster above it).
+
+        Hooks per-message fate decisions and spawns one driver process
+        per scheduled partition/crash window.  ``cluster`` (anything
+        with ``crash(node)`` / ``restart(node)``) is required when the
+        schedule contains :class:`NodeCrashFault` entries.
+        """
+        self._engine = engine = network.engine
+        self._network = network
+        network.fault_plan = self
+        for f in self._partitions:
+            engine.process(self._partition_window(f), name="net-partition")
+        for f in self._crashes:
+            if cluster is None:
+                raise ValueError(
+                    "NodeCrashFault in schedule but no cluster given")
+            engine.process(self._crash_window(cluster, f), name="net-crash")
+        return self
+
+    def _now(self) -> int:
+        return self._engine.now if self._engine is not None else -1
+
+    def _note(self, kind: str, *detail) -> None:
+        self.injected[kind] += 1
+        self.trace.append((self._now(), kind) + detail)
+
+    def _spend(self) -> bool:
+        if self._budget <= 0:
+            return False
+        self._budget -= 1
+        return True
+
+    def _trace_point(self, name: str, **args) -> None:
+        tr = self._engine.tracer if self._engine is not None else None
+        if tr is not None:
+            tr.point(name, track="net", **args)
+
+    # ------------------------------------------------------------------
+    # Per-message fate (consulted by Network.send)
+    # ------------------------------------------------------------------
+    def message_fate(self, src, dst) -> Sequence[int]:
+        """Extra-delay list for one send: ``[]`` drops the message,
+        one entry per delivery otherwise (two = a duplicate)."""
+        if not (self.p_drop or self.p_dup or self.p_delay):
+            return (0,)
+        key = (src, dst)
+        rng = self._link_rng.get(key)
+        if rng is None:
+            rng = self._link_rng[key] = random.Random(
+                f"{self.seed}:link:{src}->{dst}")
+        u = rng.random()
+        if u < self.p_drop:
+            if self._spend():
+                self._note(DROP, src, dst)
+                return ()
+            return (0,)
+        if u < self.p_drop + self.p_dup:
+            if self._spend():
+                self._note(DUP, src, dst)
+                return (0, rng.randint(1, self.delay_ns))
+            return (0,)
+        if u < self.p_drop + self.p_dup + self.p_delay:
+            if self._spend():
+                extra = rng.randint(1, self.delay_ns)
+                self._note(DELAY, src, dst, extra)
+                return (extra,)
+            return (0,)
+        return (0,)
+
+    # ------------------------------------------------------------------
+    # Scheduled windows
+    # ------------------------------------------------------------------
+    def _cross_pairs(self, group) -> List[Tuple[Any, Any]]:
+        inside = set(group)
+        return [(a, b) for a in inside
+                for b in self._network.endpoints
+                if b not in inside]
+
+    def _partition_window(self, f: PartitionFault):
+        if f.start_ns > 0:
+            yield self._engine.timeout(f.start_ns)
+        pairs = self._cross_pairs(f.group)
+        for a, b in pairs:
+            self._network.cut(a, b)
+        self._note(PARTITION, tuple(f.group), f.duration_ns)
+        self._trace_point("partition", group=list(map(str, f.group)),
+                          duration_ns=f.duration_ns)
+        yield self._engine.timeout(f.duration_ns)
+        for a, b in pairs:
+            self._network.heal(a, b)
+        self.trace.append((self._now(), HEAL, tuple(f.group)))
+        self._trace_point("heal", group=list(map(str, f.group)))
+
+    def _crash_window(self, cluster, f: NodeCrashFault):
+        if f.at_ns > 0:
+            yield self._engine.timeout(f.at_ns)
+        cluster.crash(f.node)
+        self._note(CRASH, f.node, f.down_ns)
+        self._trace_point("node_crash", node=str(f.node))
+        if f.down_ns is None:
+            return
+        yield self._engine.timeout(f.down_ns)
+        cluster.restart(f.node)
+        self.trace.append((self._now(), RESTART, f.node))
+        self._trace_point("node_restart", node=str(f.node))

@@ -12,8 +12,11 @@ from repro.obs.oracles import (
     ORACLES,
     AckImpliesDurable,
     ChannelSnOrder,
+    ClusterAckDurable,
     DeadlineAbortFinality,
+    OnePrimaryPerEpoch,
     Oracle,
+    ReplicaSnMonotonic,
     SnCommitConsistency,
     SpanCausality,
     TraceChecker,
@@ -35,9 +38,12 @@ __all__ = [
     "TraceChecker",
     "AckImpliesDurable",
     "ChannelSnOrder",
+    "ClusterAckDurable",
     "SnCommitConsistency",
     "SpanCausality",
     "DeadlineAbortFinality",
+    "OnePrimaryPerEpoch",
+    "ReplicaSnMonotonic",
     "assert_trace_ok",
     "register_oracle",
 ]

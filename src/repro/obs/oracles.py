@@ -25,6 +25,13 @@ event (track)             args
 ``park`` / ``wake``       ``ut`` [op]
 ``admission``  (coreN)    ``verdict``, ``ut``
 spans ``write``/``read``/``plan``/``submit``/``level2``/``copy`` [op]
+``repl_ship``  (net)      ``frm``, ``to``, ``epoch``, ``lo``, ``hi``
+``repl_apply`` (nodeN)    ``sn`` (durable high-water), ``epoch``, ``n``
+``repl_truncate`` (nodeN) ``at`` (new high-water), ``epoch``
+``repl_ack``   (nodeN)    ``sn``, ``epoch``, ``quorum``
+``lease_grant`` (lease)   ``epoch``, ``node``, ``expires``
+``partition`` / ``heal`` (net)  ``group``
+``node_crash`` / ``node_restart`` (net)  ``node``
 ========================  =======================================================
 
 Adding an oracle: subclass :class:`Oracle`, implement ``feed`` (called
@@ -315,12 +322,171 @@ class DeadlineAbortFinality(Oracle):
                           f"deadline abort")
 
 
+def _node_track(track: str) -> Optional[str]:
+    """``node<id>`` tracks carry per-replica replication events."""
+    return track[4:] if track.startswith("node") else None
+
+
+class ClusterAckDurable(Oracle):
+    """A replicated ack implies quorum durability -- and stays durable.
+
+    ``repl_apply``/``repl_truncate`` maintain each replica's durable
+    SN high-water.  At every ``repl_ack`` (the primary acking a client
+    write), at least ``quorum`` replicas must already hold the acked
+    SN.  Afterwards, a truncation is only legal over *unacked* suffix:
+    if a truncate drops a replica below an acked SN, the survivors
+    holding that SN must still form a quorum, else committed data was
+    lost (the cluster analogue of :class:`AckImpliesDurable`).
+
+    No-op on traces without replication events.
+    """
+
+    name = "cluster-ack-durable"
+
+    def __init__(self):
+        super().__init__()
+        self._applied: Dict[str, int] = {}       # node -> high-water
+        self._acked: Dict[int, int] = {}         # acked sn -> quorum
+        self._max_acked = 0
+
+    def feed(self, ev: TraceEvent) -> None:
+        if ev.ph != POINT:
+            return
+        node = _node_track(ev.track)
+        if node is None:
+            return
+        if ev.name == "repl_apply":
+            self._applied[node] = max(self._applied.get(node, 0),
+                                      ev.args["sn"])
+        elif ev.name == "repl_ack":
+            sn, quorum = ev.args["sn"], ev.args["quorum"]
+            holders = sum(1 for hw in self._applied.values() if hw >= sn)
+            if holders < quorum:
+                self.flag(ev, f"sn {sn} acked with only {holders} durable "
+                              f"replica(s), quorum is {quorum}")
+            self._acked[sn] = quorum
+            self._max_acked = max(self._max_acked, sn)
+        elif ev.name == "repl_truncate":
+            at = ev.args["at"]
+            before = self._applied.get(node, 0)
+            self._applied[node] = at
+            for sn in range(at + 1, min(before, self._max_acked) + 1):
+                quorum = self._acked.get(sn)
+                if quorum is None:
+                    continue
+                holders = sum(1 for hw in self._applied.values()
+                              if hw >= sn)
+                if holders < quorum:
+                    self.flag(ev, f"node {node} truncated to {at}, "
+                                  f"leaving acked sn {sn} on only "
+                                  f"{holders} replica(s) (quorum {quorum})")
+
+
+class ReplicaSnMonotonic(Oracle):
+    """Per-replica SN/epoch discipline.
+
+    * ``repl_apply`` raises the node's durable high-water strictly
+      (appends are in SN order, no re-apply);
+    * ``repl_truncate`` strictly lowers it (an empty truncate would be
+      instrumentation noise);
+    * the ``epoch`` stamped on apply/truncate events never decreases
+      per node -- a replica's durable epoch is a high-water mark.
+
+    No-op on traces without replication events.
+    """
+
+    name = "replica-sn-monotonic"
+
+    def __init__(self):
+        super().__init__()
+        self._applied: Dict[str, int] = {}
+        self._epoch: Dict[str, int] = {}
+
+    def feed(self, ev: TraceEvent) -> None:
+        if ev.ph != POINT or ev.name not in ("repl_apply", "repl_truncate"):
+            return
+        node = _node_track(ev.track)
+        if node is None:
+            return
+        epoch = ev.args["epoch"]
+        last_epoch = self._epoch.get(node, 0)
+        if epoch < last_epoch:
+            self.flag(ev, f"node {node}: epoch regressed "
+                          f"{last_epoch} -> {epoch}")
+        self._epoch[node] = max(last_epoch, epoch)
+        hw = self._applied.get(node, 0)
+        if ev.name == "repl_apply":
+            sn = ev.args["sn"]
+            if sn <= hw:
+                self.flag(ev, f"node {node}: applied sn {sn} not above "
+                              f"high-water {hw}")
+            self._applied[node] = max(hw, sn)
+        else:
+            at = ev.args["at"]
+            if at >= hw:
+                self.flag(ev, f"node {node}: truncate to {at} does not "
+                              f"lower high-water {hw}")
+            self._applied[node] = at
+
+
+class OnePrimaryPerEpoch(Oracle):
+    """Lease epochs are exclusive: one grant, one acting primary.
+
+    * ``lease_grant`` epochs are strictly increasing (each new holder
+      mints a fresh epoch), so an epoch is granted at most once;
+    * every ``repl_ship`` and ``repl_ack`` stamped with epoch ``e``
+      must be emitted by the node ``e`` was granted to -- two nodes
+      acting as primary in one epoch is the split-brain this oracle
+      exists to catch.
+
+    No-op on traces without replication events.
+    """
+
+    name = "one-primary-per-lease-epoch"
+
+    def __init__(self):
+        super().__init__()
+        self._grantee: Dict[int, str] = {}
+        self._last_epoch = 0
+
+    def feed(self, ev: TraceEvent) -> None:
+        if ev.ph != POINT:
+            return
+        if ev.name == "lease_grant":
+            epoch, node = ev.args["epoch"], str(ev.args["node"])
+            if epoch <= self._last_epoch:
+                self.flag(ev, f"lease epoch {epoch} granted after epoch "
+                              f"{self._last_epoch}")
+            if epoch in self._grantee:
+                self.flag(ev, f"lease epoch {epoch} granted twice")
+            self._grantee[epoch] = node
+            self._last_epoch = max(self._last_epoch, epoch)
+            return
+        if ev.name == "repl_ship":
+            actor = str(ev.args["frm"])
+        elif ev.name == "repl_ack":
+            actor = _node_track(ev.track)
+            if actor is None:
+                return
+        else:
+            return
+        epoch = ev.args["epoch"]
+        grantee = self._grantee.get(epoch)
+        if grantee is None:
+            self.flag(ev, f"{ev.name} in epoch {epoch} which was never "
+                          f"granted")
+        elif grantee != actor:
+            self.flag(ev, f"{ev.name} by node {actor} in epoch {epoch} "
+                          f"granted to node {grantee}")
+
+
 #: The oracle registry: name -> class.  ``register_oracle`` (or a
 #: direct assignment) adds project-specific invariants.
 ORACLES: Dict[str, Type[Oracle]] = {
     cls.name: cls for cls in (
         AckImpliesDurable, ChannelSnOrder, SnCommitConsistency,
         SpanCausality, DeadlineAbortFinality,
+        ClusterAckDurable, ReplicaSnMonotonic, OnePrimaryPerEpoch,
     )
 }
 

@@ -118,6 +118,21 @@ class Tracer:
         self._buf.clear()
         self.emitted = 0
 
+    def last_event(self, op: Optional[int] = None) -> Optional[TraceEvent]:
+        """The most recent buffered event, newest first.
+
+        With ``op=`` only events tied to that operation id count --
+        used by the watchdog to report what a hung operation last did
+        before going quiet.  Returns None when nothing matches (or the
+        ring buffer already evicted it).
+        """
+        if op is None:
+            return self._buf[-1] if self._buf else None
+        for ev in reversed(self._buf):
+            if ev.op == op:
+                return ev
+        return None
+
     # -- ids --------------------------------------------------------
     def next_op_id(self) -> int:
         """A fresh operation id (unique within this tracer)."""

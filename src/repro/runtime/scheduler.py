@@ -121,6 +121,7 @@ class CoreScheduler:
             ut.pending_continuation = None
             ctx = OpContext(self.runtime.platform, core=self.core,
                             deadline=ut.deadline)
+            ut.last_op_id = ctx.op_id
             yield from make(ctx)
             ut.resume_value = result
         value = ut.resume_value
@@ -179,6 +180,7 @@ class CoreScheduler:
                     continue
                 ctx = OpContext(self.runtime.platform, core=self.core,
                                 deadline=ut.deadline)
+                ut.last_op_id = ctx.op_id
                 if verdict == "degrade":
                     ctx.force_sync = True
                 try:

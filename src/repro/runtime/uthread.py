@@ -30,7 +30,7 @@ class Uthread:
     __slots__ = ("uid", "engine", "body", "name", "state", "deadline",
                  "priority", "watchdog_flagged", "home", "resume_value",
                  "done", "io_parked", "pending_continuation", "spawned_at",
-                 "finished_at", "syscalls", "parks", "steals")
+                 "finished_at", "syscalls", "parks", "steals", "last_op_id")
 
     def __init__(self, engine: Engine, body: Generator,
                  name: Optional[str] = None,
@@ -62,6 +62,9 @@ class Uthread:
         #: Deferred second syscall ``(make, result)`` to run before the
         #: next resume (Naive-EasyIO metadata commit, see scheduler).
         self.pending_continuation: Optional[tuple] = None
+        #: Trace op id of the most recent syscall (None with tracing
+        #: off) -- lets the watchdog tie a hang to its trace span.
+        self.last_op_id: Optional[int] = None
         # Statistics.
         self.spawned_at = engine.now
         self.finished_at: Optional[int] = None

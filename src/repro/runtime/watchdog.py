@@ -48,6 +48,12 @@ class HangReport:
     channels: List[dict] = field(default_factory=list)
     #: Every live uthread at trip time (name, state, parked-on-I/O).
     uthreads: List[dict] = field(default_factory=list)
+    #: Trace op id of the hung uthread's current syscall (None with
+    #: tracing off or before its first syscall).
+    trace_op: Optional[int] = None
+    #: ``str()`` of the hung op's most recent trace event -- the last
+    #: thing it did before going quiet (None when untraceable).
+    last_trace_event: Optional[str] = None
 
     def render(self) -> str:
         """Human-readable multi-line summary for logs / assertions."""
@@ -56,6 +62,10 @@ class HangReport:
             f"hung at t={self.time} ns "
             f"(spawned {self.spawned_at}, budget {self.budget_ns} ns)",
         ]
+        if self.trace_op is not None:
+            lines.append(
+                f"  trace: op {self.trace_op}, last event "
+                f"{self.last_trace_event or '<none buffered>'}")
         for s in self.schedulers:
             lines.append(
                 f"  core{s['core']}: queue={s['queue_len']} "
@@ -139,7 +149,16 @@ class Watchdog:
     def snapshot(self, ut: Uthread, budget: int) -> HangReport:
         """Capture the full runtime/DMA state around a hung uthread."""
         dma = self.runtime.platform.dma
+        trace_op = getattr(ut, "last_op_id", None)
+        last_ev = None
+        tracer = self.engine.tracer
+        if tracer is not None and trace_op is not None:
+            ev = tracer.last_event(op=trace_op)
+            if ev is not None:
+                last_ev = str(ev)
         return HangReport(
+            trace_op=trace_op,
+            last_trace_event=last_ev,
             time=self.engine.now,
             uthread=ut.name,
             uid=ut.uid,

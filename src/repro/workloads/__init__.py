@@ -11,6 +11,9 @@
 * :mod:`repro.workloads.overload` -- open-loop Poisson arrivals with
   per-request deadlines, driving the admission-control / watchdog
   robustness experiment.
+* :mod:`repro.workloads.replication` -- closed-loop clients writing
+  into a replicated cluster under a network fault plan, driving the
+  multi-node robustness experiment (goodput, failover time, oracles).
 """
 
 from repro.workloads.factory import FS_KINDS, make_fs, make_platform, max_workers
@@ -21,6 +24,11 @@ from repro.workloads.fxmark import (
     run_fxmark,
 )
 from repro.workloads.overload import OverloadConfig, OverloadResult, run_overload
+from repro.workloads.replication import (
+    ReplicationConfig,
+    ReplicationResult,
+    run_replication,
+)
 
 __all__ = [
     "FS_KINDS",
@@ -28,10 +36,13 @@ __all__ = [
     "FxmarkResult",
     "OverloadConfig",
     "OverloadResult",
+    "ReplicationConfig",
+    "ReplicationResult",
     "make_fs",
     "make_platform",
     "max_workers",
     "measure_single_op",
     "run_fxmark",
     "run_overload",
+    "run_replication",
 ]

@@ -63,6 +63,31 @@ class TestFaultPlan:
         with pytest.raises(TypeError):
             FaultPlan(schedule=("boom",))
 
+    def test_schedule_entry_validation(self):
+        # The shared validators (also used by net.NetFaultPlan) reject
+        # malformed windows and conflicting per-resource schedules.
+        with pytest.raises(ValueError, match="channel_id"):
+            FaultPlan(schedule=(TransferErrorFault(-1, 1),))
+        with pytest.raises(ValueError, match="at_sn"):
+            FaultPlan(schedule=(ChannelHaltFault(0, at_sn=0),))
+        with pytest.raises(ValueError, match="conflicting scheduled"):
+            FaultPlan(schedule=(TransferErrorFault(0, 3),
+                                ChannelHaltFault(0, at_sn=3)))
+        with pytest.raises(ValueError, match="at_write"):
+            FaultPlan(schedule=(MediaFault(at_write=0),))
+        with pytest.raises(ValueError, match="start_ns"):
+            FaultPlan(schedule=(BandwidthFault(-5, 100, 0.5),))
+        with pytest.raises(ValueError, match="factor"):
+            FaultPlan(schedule=(BandwidthFault(0, 100, 1.5),))
+        with pytest.raises(ValueError, match="overlapping bandwidth"):
+            FaultPlan(schedule=(BandwidthFault(0, 200, 0.5),
+                                BandwidthFault(100, 200, 0.25)))
+        # Back-to-back windows and distinct channels are legal.
+        FaultPlan(schedule=(BandwidthFault(0, 100, 0.5),
+                            BandwidthFault(100, 100, 0.25),
+                            TransferErrorFault(0, 3),
+                            ChannelHaltFault(1, at_sn=3)))
+
     def test_scheduled_faults_ignore_budget(self, node):
         plan = FaultPlan(schedule=(TransferErrorFault(0, 1),), max_faults=0)
         plan.install(node)

@@ -256,3 +256,59 @@ class TestWatchdogRuntime:
         assert rt.schedulers[1].steals > 0
         assert rt.overload_stats.watchdog_trips == 0
         assert not wd.reports
+
+    class _Hang:
+        """Syscall result whose completion never fires."""
+        is_async = True
+        continuation = None
+        ctx = None
+
+        def __init__(self, event):
+            self.pending = event
+
+    def test_hang_report_carries_trace_context(self, node):
+        # With tracing on, the report names the hung syscall's trace op
+        # and quotes the last thing it did before going quiet.
+        from repro.obs import Tracer
+        from repro.runtime import Watchdog
+        node.engine.tracer = Tracer(node.engine)
+        rt = Runtime(node, cores=node.cores[:1])
+        wd = Watchdog(rt, grace_factor=2)
+        hang = self._Hang
+
+        def hang_op(ctx):
+            ctx.trace_point("dma_submit", track="ch0", sn=1,
+                            nbytes=4096, write=True)
+            return hang(node.engine.event())
+            yield  # pragma: no cover - makes ``hang_op`` a generator
+
+        def body():
+            yield Syscall(hang_op)
+        ut = rt.spawn(body(), name="wedged", deadline=node.now + 5_000)
+        node.run()
+        report = wd.reports[0]
+        assert report.trace_op is not None
+        assert report.trace_op == ut.last_op_id
+        assert "dma_submit" in report.last_trace_event
+        rendered = report.render()
+        assert f"trace: op {report.trace_op}" in rendered
+        assert "dma_submit" in rendered
+
+    def test_hang_report_without_tracer_omits_trace_line(self, node):
+        from repro.runtime import Watchdog
+        rt = Runtime(node, cores=node.cores[:1])
+        wd = Watchdog(rt, grace_factor=2)
+        hang = self._Hang
+
+        def hang_op(ctx):
+            return hang(node.engine.event())
+            yield  # pragma: no cover
+
+        def body():
+            yield Syscall(hang_op)
+        rt.spawn(body(), name="untraced", deadline=node.now + 5_000)
+        node.run()
+        report = wd.reports[0]
+        assert report.trace_op is None
+        assert report.last_trace_event is None
+        assert "trace: op" not in report.render()

@@ -11,6 +11,7 @@ import pytest
 
 from repro.analysis.metrics import FaultStats, OverloadStats
 from repro.hw.platform import Platform, PlatformConfig
+from repro.net import NetStats
 from repro.sim import Engine
 from repro.workloads.factory import FS_KINDS, make_fs
 from tests.conftest import run_proc
@@ -50,8 +51,8 @@ class TestEngineStats:
         assert engine.stats.events_fired == first
 
 
-@pytest.mark.parametrize("cls", [FaultStats, OverloadStats])
 class TestSharedStatsReset:
+    @pytest.mark.parametrize("cls", [FaultStats, OverloadStats, NetStats])
     def test_reset_zeroes_every_field(self, cls):
         stats = cls()
         for name in stats.as_dict():
@@ -59,10 +60,12 @@ class TestSharedStatsReset:
         stats.reset()
         assert all(v == 0 for v in stats.as_dict().values())
 
-    def test_reset_clears_the_summary_flag(self, cls):
+    @pytest.mark.parametrize("cls,flag,field", [
+        (FaultStats, "any_faults", "transfer_errors"),
+        (OverloadStats, "any_overload", "rejected"),
+    ])
+    def test_reset_clears_the_summary_flag(self, cls, flag, field):
         stats = cls()
-        flag = ("any_faults" if cls is FaultStats else "any_overload")
-        field = ("transfer_errors" if cls is FaultStats else "rejected")
         setattr(stats, field, 1)
         assert getattr(stats, flag)
         stats.reset()

@@ -270,6 +270,115 @@ class TestDeadlineAbortFinality:
         assert f"emitted {effect} after its deadline abort" in v.message
 
 
+class TestClusterAckDurable:
+    ORACLE = "cluster-ack-durable"
+
+    def test_ack_at_quorum_is_legal(self):
+        tr = _tracer()
+        tr.point("repl_apply", track="node0", sn=3, epoch=1, n=3)
+        tr.point("repl_apply", track="node1", sn=3, epoch=1, n=3)
+        tr.point("repl_ack", track="node0", sn=3, epoch=1, quorum=2)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_ack_below_quorum_flagged(self):
+        tr = _tracer()
+        tr.point("repl_apply", track="node0", sn=3, epoch=1, n=3)
+        tr.point("repl_ack", track="node0", sn=3, epoch=1, quorum=2)
+        [v] = _check(tr, self.ORACLE)
+        assert "sn 3 acked with only 1 durable replica(s)" in v.message
+
+    def test_truncating_unacked_suffix_is_legal(self):
+        # Divergent never-acked records may be amended away freely.
+        tr = _tracer()
+        tr.point("repl_apply", track="node0", sn=2, epoch=1, n=2)
+        tr.point("repl_apply", track="node1", sn=2, epoch=1, n=2)
+        tr.point("repl_ack", track="node0", sn=2, epoch=1, quorum=2)
+        tr.point("repl_apply", track="node1", sn=4, epoch=1, n=2)
+        tr.point("repl_truncate", track="node1", at=2, epoch=2)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_truncating_acked_data_below_quorum_flagged(self):
+        tr = _tracer()
+        tr.point("repl_apply", track="node0", sn=3, epoch=1, n=3)
+        tr.point("repl_apply", track="node1", sn=3, epoch=1, n=3)
+        tr.point("repl_ack", track="node0", sn=3, epoch=1, quorum=2)
+        tr.point("repl_truncate", track="node1", at=1, epoch=2)
+        [v] = _check(tr, self.ORACLE)
+        assert "leaving acked sn 3 on only 1 replica(s)" in v.message
+
+    def test_noop_on_repl_free_trace(self):
+        tr = _tracer()
+        tr.point("write_ack", track="fs", op=1, ino=2)
+        assert _check(tr, self.ORACLE) == []
+
+
+class TestReplicaSnMonotonic:
+    ORACLE = "replica-sn-monotonic"
+
+    def test_apply_truncate_reapply_is_legal(self):
+        tr = _tracer()
+        tr.point("repl_apply", track="node1", sn=3, epoch=1, n=3)
+        tr.point("repl_truncate", track="node1", at=2, epoch=2)
+        tr.point("repl_apply", track="node1", sn=3, epoch=2, n=1)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_reapplying_old_sn_flagged(self):
+        tr = _tracer()
+        tr.point("repl_apply", track="node1", sn=3, epoch=1, n=3)
+        tr.point("repl_apply", track="node1", sn=3, epoch=1, n=1)
+        [v] = _check(tr, self.ORACLE)
+        assert "applied sn 3 not above high-water 3" in v.message
+
+    def test_epoch_regression_flagged(self):
+        tr = _tracer()
+        tr.point("repl_apply", track="node1", sn=2, epoch=3, n=2)
+        tr.point("repl_apply", track="node1", sn=3, epoch=2, n=1)
+        [v] = _check(tr, self.ORACLE)
+        assert "epoch regressed 3 -> 2" in v.message
+
+
+class TestOnePrimaryPerEpoch:
+    ORACLE = "one-primary-per-lease-epoch"
+
+    def _grant(self, tr, epoch, node):
+        tr.point("lease_grant", track="lease", epoch=epoch, node=node,
+                 expires=99)
+
+    def test_grantee_acting_alone_is_legal(self):
+        tr = _tracer()
+        self._grant(tr, 1, "0")
+        tr.point("repl_ship", track="net", frm=0, to=1, epoch=1,
+                 lo=1, hi=2)
+        tr.point("repl_ack", track="node0", sn=1, epoch=1, quorum=2)
+        self._grant(tr, 2, "2")
+        tr.point("repl_ship", track="net", frm=2, to=1, epoch=2,
+                 lo=3, hi=3)
+        assert _check(tr, self.ORACLE) == []
+
+    def test_non_grantee_shipping_flagged(self):
+        tr = _tracer()
+        self._grant(tr, 1, "0")
+        tr.point("repl_ship", track="net", frm=2, to=1, epoch=1,
+                 lo=1, hi=1)
+        [v] = _check(tr, self.ORACLE)
+        assert "repl_ship by node 2 in epoch 1 granted to node 0" \
+            in v.message
+
+    def test_ungranted_epoch_flagged(self):
+        tr = _tracer()
+        tr.point("repl_ack", track="node0", sn=1, epoch=5, quorum=2)
+        [v] = _check(tr, self.ORACLE)
+        assert "epoch 5 which was never granted" in v.message
+
+    def test_epoch_granted_twice_flagged(self):
+        tr = _tracer()
+        self._grant(tr, 1, "0")
+        self._grant(tr, 1, "2")
+        violations = _check(tr, self.ORACLE)
+        assert any("granted after epoch" in v.message
+                   or "granted twice" in v.message for v in violations)
+
+
 class TestChecker:
     def test_subset_by_name_runs_only_those(self):
         tr = _tracer()
