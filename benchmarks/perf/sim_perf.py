@@ -14,7 +14,10 @@ script measures how fast the simulator runs on the host:
   should use.  The harness asserts its summaries are identical to the
   serial run's before trusting its timing;
 * ``replication``: one traced 3-node crash-failover run, cluster
-  oracle replay included (the DESIGN.md §12 layer's wall-clock unit).
+  oracle replay included (the DESIGN.md §12 layer's wall-clock unit);
+* ``crash_prune``: one pruned line-granularity crash sweep of
+  easyio/generic_056 (record + plan + replay/recover every plan), the
+  crash model's wall-clock unit (DESIGN.md §13).
 
 Results land in ``BENCH_sim_perf.json`` at the repo root (committed,
 so CI can gate on regressions).  Usage::
@@ -139,6 +142,28 @@ def bench_fig09(repeat: int, duration_us: int, warmup_us: int) -> dict:
     }
 
 
+def bench_crash_prune(repeat: int) -> dict:
+    """One pruned line-granularity crash sweep (easyio/generic_056):
+    record, plan, replay every plan, recover, check -- the crash
+    model's wall-clock unit."""
+    from repro.crash import run_crash_test
+
+    def run():
+        report = run_crash_test("easyio", "generic_056",
+                                granularity="line", per_signature=3)
+        if not report.all_passed:
+            raise SystemExit("FAIL: crash_prune bench found violations: "
+                             f"{report.failures[:3]}")
+        return report
+
+    wall, report = _best_of(repeat, run)
+    return {
+        "wall_s": round(wall, 4),
+        "plans": report.total_crash_points,
+        "raw_states_log10": round(len(str(report.raw_states)) - 1),
+    }
+
+
 def bench_replication(repeat: int) -> dict:
     """One traced crash-failover replication run, oracle replay
     included -- the cluster layer's wall-clock unit."""
@@ -170,6 +195,7 @@ def measure(quick: bool, repeat: int) -> dict:
     fig08 = bench_fig08_probe(repeat)
     fig09 = bench_fig09(repeat, duration_us, warmup_us)
     repl = bench_replication(repeat)
+    crash = bench_crash_prune(repeat)
     report = {
         "mode": "quick" if quick else "full",
         "host_cpus": os.cpu_count() or 1,
@@ -179,6 +205,7 @@ def measure(quick: bool, repeat: int) -> dict:
             "fig09_sweep_serial": fig09["fig09_sweep_serial"],
             "fig09_sweep_fast": fig09["fig09_sweep_fast"],
             "replication": repl,
+            "crash_prune": crash,
         },
         "fig09_points": fig09["points"],
         "speedup_fast_vs_serial": fig09["speedup_fast_vs_serial"],
@@ -214,7 +241,7 @@ def check(report: dict, baseline_path: str) -> int:
         return 0
     failures = []
     for name in ("fig08_probe", "fig09_sweep_serial", "fig09_sweep_fast",
-                 "replication"):
+                 "replication", "crash_prune"):
         base = baseline.get("figures", {}).get(name, {}).get("wall_s")
         new = report["figures"][name]["wall_s"]
         if base and new > base * REGRESSION_MAX:

@@ -97,3 +97,71 @@ def fxmark_sweep(kinds: Iterable[str], workers: Iterable[int],
                for kind in kinds for n in workers]
     keys = [f"{op}/{kind}/{n}" for kind in kinds for n in workers]
     return dict(zip(keys, run_sweep(configs, processes=processes)))
+
+
+# ----------------------------------------------------------------------
+# Crash sweeps (Table 2): one process per (kind, workload, granularity)
+# ----------------------------------------------------------------------
+def crash_point(spec: dict) -> dict:
+    """Run one crash test and return a plain-dict summary.
+
+    ``spec`` is keyword arguments for
+    :func:`repro.crash.run_crash_test` (``kind``, ``workload``, and
+    optionally ``granularity``, ``crash_points``, planner knobs...).
+    Module-level and dict-in/dict-out so a multiprocessing pool can
+    ship it; crash tests are seeded and engine-local, so the summary
+    is a pure function of the spec (run_crash_sweep's determinism).
+    """
+    from repro.crash import run_crash_test
+    report = run_crash_test(**spec)
+    return {
+        "workload": report.workload,
+        "kind": report.kind,
+        "granularity": report.granularity,
+        "total_crash_points": report.total_crash_points,
+        "passed": report.passed,
+        "all_passed": report.all_passed,
+        "raw_states": report.raw_states,
+        "plan_classes": dict(sorted(report.plan_classes.items())),
+        "failures": [tuple(f) for f in report.failures[:5]],
+    }
+
+
+def run_crash_sweep(specs: Sequence[dict],
+                    processes: Optional[int] = None) -> List[dict]:
+    """Run every crash spec, in input order (parallel over a pool).
+
+    Same contract as :func:`run_sweep`: ``processes<=1`` or a single
+    spec runs serially, and the summaries are identical either way.
+    """
+    specs = list(specs)
+    if processes is None:
+        processes = os.cpu_count() or 1
+    if processes <= 1 or len(specs) <= 1:
+        return [crash_point(spec) for spec in specs]
+    with multiprocessing.Pool(min(processes, len(specs))) as pool:
+        return pool.map(crash_point, specs, chunksize=1)
+
+
+def table2_crash_sweep(kinds: Iterable[str],
+                       workloads: Iterable[str],
+                       granularities: Iterable[str] = ("page", "line"),
+                       crash_points: int = 1000,
+                       per_signature: Optional[int] = 3,
+                       processes: Optional[int] = None) -> Dict[str, dict]:
+    """The Table 2 grid at both granularities:
+    ``{granularity}/{kind}/{workload}`` -> crash summary."""
+    kinds, workloads = list(kinds), list(workloads)
+    grans = list(granularities)
+    specs, keys = [], []
+    for gran in grans:
+        for kind in kinds:
+            for wl in workloads:
+                spec = {"kind": kind, "workload": wl, "granularity": gran}
+                if gran == "page":
+                    spec["crash_points"] = crash_points
+                else:
+                    spec["per_signature"] = per_signature
+                specs.append(spec)
+                keys.append(f"{gran}/{kind}/{wl}")
+    return dict(zip(keys, run_crash_sweep(specs, processes=processes)))

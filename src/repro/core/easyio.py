@@ -195,3 +195,37 @@ class NaiveAsyncFS(EasyIoFS):
                                             w.stats),
             read=base.read,
             planner=base.planner, level2=base.level2)
+
+
+#: Planted persistence bugs for crash-model validation.  Each mutant
+#: breaks one fence/ordering rule the line-granularity crash model is
+#: supposed to catch and the page-granularity model cannot (or need
+#: not) see:
+#:
+#: * ``skip_append_fence``     -- drop the sfence between a WriteEntry
+#:   log append and its tail commit: the commit can land while the
+#:   entry is torn.  Invisible to the mutation journal (the journal
+#:   records logical stores, not fences), so the page sweep passes.
+#: * ``reorder_amend_persist`` -- persist a failover's SN amendment
+#:   *before* the degraded memcpy'd pages land: a crash in between
+#:   leaves a validated entry pointing at absent data.
+CRASH_MUTANTS = ("skip_append_fence", "reorder_amend_persist")
+
+
+def install_crash_mutant(fs, mutant: str) -> None:
+    """Plant one of :data:`CRASH_MUTANTS` into a live filesystem.
+
+    Test-only: used by the crash harness to validate that the
+    line-granularity sweep detects known fence/ordering bugs.
+    """
+    if mutant == "skip_append_fence":
+        stream = fs.image.linestream
+        if stream is None:
+            raise RuntimeError(
+                "skip_append_fence needs a line-recording image")
+        stream.skipped_fences.add("append:WriteEntry")
+    elif mutant == "reorder_amend_persist":
+        fs.io.write.supervision.supervisor.mutant_reorder_amend = True
+    else:
+        raise ValueError(f"unknown crash mutant {mutant!r}; "
+                         f"choose from {CRASH_MUTANTS}")

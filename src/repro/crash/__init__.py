@@ -1,9 +1,24 @@
-"""Crash-consistency testing (CrashMonkey-style, §6.5 / Table 2)."""
+"""Crash-consistency testing (CrashMonkey-style, §6.5 / Table 2),
+extended with a cache-line-granularity crash model and mechanism-aware
+crash-state pruning (Silhouette-style)."""
 
 from repro.crash.crashmonkey import (
     CRASH_WORKLOADS,
+    CrashFailure,
     CrashReport,
     run_crash_test,
 )
+from repro.crash.linestream import LineStream, replay_full, replay_plan
+from repro.crash.plans import CrashPlan, CrashPlanner
 
-__all__ = ["CRASH_WORKLOADS", "CrashReport", "run_crash_test"]
+__all__ = [
+    "CRASH_WORKLOADS",
+    "CrashFailure",
+    "CrashPlan",
+    "CrashPlanner",
+    "CrashReport",
+    "LineStream",
+    "replay_full",
+    "replay_plan",
+    "run_crash_test",
+]

@@ -29,10 +29,13 @@ from __future__ import annotations
 import hashlib
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (Callable, Dict, List, NamedTuple, Optional, Sequence,
+                    Tuple)
 
-from repro.fs.recovery import completion_buffer_validator, recover
-from repro.fs.structures import FileKind
+from repro.fs.pmimage import PMImage
+from repro.fs.recovery import (TornLogEntryError,
+                               completion_buffer_validator, recover)
+from repro.fs.structures import FileKind, TornRecord
 from repro.hw.platform import Platform, PlatformConfig
 from repro.obs import TraceChecker, default_tracing
 from repro.workloads.factory import make_fs
@@ -164,6 +167,23 @@ CRASH_WORKLOADS: Dict[str, Tuple[str, Callable, int]] = {
 }
 
 
+class CrashFailure(NamedTuple):
+    """One failed crash point: which check tripped, and where.
+
+    Tuple-compatible with the old ``(point, message)`` failures;
+    ``check`` names the violated oracle (``ordering`` / ``content`` /
+    ``atomicity`` for state legality, ``torn-entry`` / ``torn-journal``
+    / ``sn-pages`` / ``no-resurrect`` for the mechanism oracles) and
+    ``plan`` the crash-plan class in line-granularity mode, so a
+    failure can be replayed from the report alone.
+    """
+
+    point: int
+    check: str
+    detail: str
+    plan: Optional[str] = None
+
+
 @dataclass
 class CrashReport:
     """Outcome of one workload's crash sweep."""
@@ -172,16 +192,100 @@ class CrashReport:
     kind: str
     total_crash_points: int
     passed: int
-    failures: List[Tuple[int, str]] = field(default_factory=list)
+    failures: List[CrashFailure] = field(default_factory=list)
+    #: ``"page"`` (mutation-prefix sweep) or ``"line"`` (crash plans).
+    granularity: str = "page"
+    #: Line mode: the raw 2^lines crash states the plan set stands in
+    #: for (how much the mechanism pruning collapsed).
+    raw_states: int = 0
+    #: Line mode: replayed plans per plan class.
+    plan_classes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def all_passed(self) -> bool:
         return self.passed == self.total_crash_points
 
 
+def _classify_state_failure(snap: Snapshot,
+                            oracle: Sequence[Tuple[int, int, Snapshot]],
+                            lo: int, hi: int):
+    """Name the way a recovered state is illegal.
+
+    * ``ordering``  -- it *is* a post-op state, just not one in the
+      legal [lo, hi] window (an acked op vanished, or a later op became
+      durable before an earlier one);
+    * ``content``   -- names and sizes match a legal state but file
+      contents differ (the dangerous window: metadata without data);
+    * ``atomicity`` -- it matches no post-op state at all (a partially
+      applied operation leaked through recovery).
+    """
+    for j in range(len(oracle) + 1):
+        cand = {} if j == 0 else oracle[j - 1][2]
+        if snap == cand:
+            return ("ordering",
+                    f"recovered state equals the post-op-{j} state, "
+                    f"outside the legal window [{lo}, {hi}]")
+    for i in range(lo, hi + 1):
+        cand = {} if i == 0 else oracle[i - 1][2]
+        if set(cand) == set(snap) \
+                and all(cand[p][:2] == snap[p][:2] for p in cand):
+            return ("content",
+                    f"names/sizes match the post-op-{i} state but file "
+                    f"contents differ")
+    return ("atomicity",
+            f"recovered state matches no oracle state in [{lo}, {hi}] "
+            f"(partially applied operation)")
+
+
+def _check_state(snap: Snapshot,
+                 oracle: Sequence[Tuple[int, int, Snapshot]],
+                 lo: int, hi: int):
+    """None if ``snap`` is a legal post-crash state, else a classified
+    ``(check, detail)`` pair."""
+    for i in range(lo, hi + 1):
+        cand = {} if i == 0 else oracle[i - 1][2]
+        if snap == cand:
+            return None
+    return _classify_state_failure(snap, oracle, lo, hi)
+
+
+def _mechanism_checks(fs2, img, validator):
+    """The mechanism oracles: recovery must have *reacted* to each
+    mechanism's torn/reordered shapes, not merely produced some legal
+    namespace.  Returns None, or a ``(check, detail)`` failure.
+
+    * ``torn-journal``  -- a torn (checksum-invalid) journal record
+      must be retired during recovery, never left in place;
+    * ``sn-pages``      -- a surviving page mapping must point at a
+      page the image actually holds (an SN slot persisting before its
+      pages landed must have invalidated the entry);
+    * ``no-resurrect``  -- a surviving mapping's SNs must satisfy the
+      completion-buffer rule: an amended SN set can never make data
+      valid that the buffers do not cover.
+    """
+    for txn in img.journal:
+        if isinstance(txn, TornRecord):
+            return ("torn-journal",
+                    f"recovery left a torn {txn.of} journal record "
+                    f"({txn.lines}/{txn.total} lines) unretired")
+    for ino, m in fs2._mem.items():
+        for off, pm in m.index.items():
+            if pm.page_id not in img.pages:
+                return ("sn-pages",
+                        f"inode {ino} pgoff {off}: surviving mapping "
+                        f"references page {pm.page_id} absent from the "
+                        f"image (metadata persisted before data)")
+            if pm.sns and validator is not None and not validator(pm.sns):
+                return ("no-resurrect",
+                        f"inode {ino} pgoff {off}: surviving mapping's "
+                        f"SNs {pm.sns} fail the completion-buffer rule")
+    return None
+
+
 def _record_workload(kind: str, driver: Callable, iterations: int,
                      fault_plan: Optional[Callable] = None,
-                     trace_oracles: bool = False):
+                     trace_oracles: bool = False, *,
+                     lines: bool = False, mutant: Optional[str] = None):
     """Run the workload once, recording mutations and the op oracle.
 
     ``fault_plan`` is a zero-argument factory returning a fresh
@@ -194,21 +298,45 @@ def _record_workload(kind: str, driver: Callable, iterations: int,
     violation raises before a single crash point is examined -- so
     crash legality is checked against the *execution*, not only the
     recovered image.
+
+    ``lines`` additionally records the cache-line persistence journal
+    (``image.linestream``), with per-op stream bounds on
+    ``stream.op_bounds``.  ``mutant`` plants a known persistence bug
+    (see :data:`repro.core.easyio.CRASH_MUTANTS`) -- mutants require
+    line recording, so callers enable it for page sweeps on mutants
+    too (the sweep itself still only reads the mutation journal).
     """
     tracers: list = []
     scope = default_tracing(collect=tracers) if trace_oracles \
         else nullcontext()
+    stream = None
     with scope:
         platform = Platform(PlatformConfig.single_node())
-        fs = make_fs(kind, platform, record=True)
+        if lines:
+            image = PMImage(record=True)
+            stream = image.enable_line_recording()
+            stream.tracer = platform.engine.tracer
+            fs = make_fs(kind, platform, image=image)
+        else:
+            fs = make_fs(kind, platform, record=True)
     image = fs.image
     if fault_plan is not None:
-        fault_plan().install(platform, image=image)
+        plan = fault_plan()
+        if lines and plan.has_media_faults:
+            raise ValueError(
+                "line-granularity recording cannot model media faults "
+                "(DMA payloads are journalled at submission); use the "
+                "page-granularity sweep for media-fault plans")
+        plan.install(platform, image=image)
+    if mutant is not None:
+        from repro.core.easyio import install_crash_mutant
+        install_crash_mutant(fs, mutant)
     # oracle[i] = (start_idx, end_idx, snapshot after op i)
     oracle: List[Tuple[int, int, Snapshot]] = []
 
     def runner():
         start = len(image.mutations)
+        sstart = stream.position() if stream is not None else 0
         gen = driver(fs, iterations)
         while True:
             try:
@@ -220,6 +348,10 @@ def _record_workload(kind: str, driver: Callable, iterations: int,
             end = len(image.mutations)
             oracle.append((start, end, snapshot_with_content(fs)))
             start = end
+            if stream is not None:
+                send = stream.position()
+                stream.op_bounds.append((sstart, send))
+                sstart = send
 
     def _drive_until_marker(gen):
         """Advance the workload generator to its next ("op",) marker."""
@@ -252,9 +384,23 @@ def _record_workload(kind: str, driver: Callable, iterations: int,
 
 def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
                    fault_plan: Optional[Callable] = None,
-                   trace_oracles: bool = False) -> CrashReport:
-    """Inject ``crash_points`` crashes into one workload and check
-    every recovery (the Table 2 experiment).
+                   trace_oracles: bool = False,
+                   granularity: str = "page",
+                   per_signature: Optional[int] = 3,
+                   plan_budget: Optional[int] = None,
+                   plan_seed: int = 0,
+                   mutant: Optional[str] = None) -> CrashReport:
+    """Inject crashes into one workload and check every recovery
+    (the Table 2 experiment).
+
+    ``granularity="page"`` is the classic CrashMonkey sweep: ``crash_
+    points`` positions spread over the mutation journal, each replayed
+    as a whole-mutation prefix.  ``granularity="line"`` replays the
+    :class:`~repro.crash.plans.CrashPlanner`'s mechanism-pruned crash
+    plans instead -- cache-line subsets of the in-flight stores at
+    every fence epoch -- and additionally runs the mechanism oracles
+    (torn journal records retired, no metadata-before-data mappings,
+    no SN-amend resurrection) on every recovered state.
 
     With a ``fault_plan`` factory the recording run also suffers DMA
     faults, so the sweep covers crash points inside EasyIO's retry and
@@ -262,10 +408,25 @@ def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
     recovery must still land in a legal state at every point.
     ``trace_oracles`` additionally replays the recording run's trace
     through the invariant oracles (see :func:`_record_workload`).
+
+    ``mutant`` plants a known persistence bug in the recording run
+    (validation that the line sweep catches what the page sweep
+    cannot); mutants need line recording even for page-granularity
+    sweeps.  ``per_signature``/``plan_budget``/``plan_seed`` tune the
+    line planner (see :class:`~repro.crash.plans.CrashPlanner`).
     """
+    if granularity not in ("page", "line"):
+        raise ValueError(f"unknown granularity {granularity!r}")
     desc, driver, iterations = CRASH_WORKLOADS[workload]
+    lines = granularity == "line" or mutant is not None
     image, oracle = _record_workload(kind, driver, iterations, fault_plan,
-                                     trace_oracles=trace_oracles)
+                                     trace_oracles=trace_oracles,
+                                     lines=lines, mutant=mutant)
+    validator_needed = kind in ("easyio", "naive")
+    if granularity == "line":
+        return _line_sweep(kind, workload, image, oracle, validator_needed,
+                           per_signature=per_signature, budget=plan_budget,
+                           seed=plan_seed)
     total = image.crash_points()
     if total < 2:
         raise RuntimeError(f"workload {workload} produced no mutations")
@@ -276,8 +437,6 @@ def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
 
     report = CrashReport(workload=workload, kind=kind,
                          total_crash_points=len(points), passed=0)
-    validator_needed = kind in ("easyio", "naive")
-    empty_snapshot: Snapshot = {}
     for k in points:
         img = image.replay(k)
         platform = Platform(PlatformConfig.single_node())
@@ -288,14 +447,51 @@ def run_crash_test(kind: str, workload: str, crash_points: int = 1000,
         snap = snapshot_with_content(fs2)
         durable = sum(1 for (_s, e, _sn) in oracle if e <= k)
         started = sum(1 for (s, _e, _sn) in oracle if s <= k)
-        candidates = [empty_snapshot if i == 0 else oracle[i - 1][2]
-                      for i in range(durable, started + 1)]
-        if any(snap == c for c in candidates):
+        fail = _check_state(snap, oracle, durable, started)
+        if fail is None:
+            report.passed += 1
+        else:
+            report.failures.append(CrashFailure(k, fail[0], fail[1]))
+    return report
+
+
+def _line_sweep(kind: str, workload: str, image, oracle, validator_needed,
+                per_signature, budget, seed) -> CrashReport:
+    """Replay every pruned crash plan and check recovery against the
+    state oracle *and* the mechanism oracles."""
+    from repro.crash.linestream import replay_plan
+    from repro.crash.plans import CrashPlanner
+
+    stream = image.linestream
+    planner = CrashPlanner(stream, per_signature=per_signature,
+                           budget=budget, seed=seed)
+    plans = planner.plans()
+    report = CrashReport(workload=workload, kind=kind,
+                         total_crash_points=len(plans), passed=0,
+                         granularity="line",
+                         raw_states=planner.raw_states,
+                         plan_classes=dict(planner.plan_classes))
+    for plan in plans:
+        img = replay_plan(stream, plan)
+        platform = Platform(PlatformConfig.single_node())
+        fs2 = make_fs_on_image(kind, platform, img)
+        validator = (completion_buffer_validator(img)
+                     if validator_needed else None)
+        try:
+            recover(fs2, validator)
+        except TornLogEntryError as exc:
+            report.failures.append(
+                CrashFailure(plan.point, "torn-entry", str(exc), plan.cls))
+            continue
+        fail = _mechanism_checks(fs2, img, validator)
+        if fail is None:
+            snap = snapshot_with_content(fs2)
+            fail = _check_state(snap, oracle, plan.lo, plan.hi)
+        if fail is None:
             report.passed += 1
         else:
             report.failures.append(
-                (k, f"recovered state matches none of ops "
-                    f"[{durable}, {started}]"))
+                CrashFailure(plan.point, fail[0], fail[1], plan.cls))
     return report
 
 

@@ -181,6 +181,17 @@ class FaultPlan:
         self.injected: Dict[str, int] = {XFER_ERROR: 0, CHAN_HALT: 0,
                                          BW_DEGRADE: 0, MEDIA: 0}
 
+    @property
+    def has_media_faults(self) -> bool:
+        """Whether this plan can corrupt page persists.
+
+        Line-granularity crash recording refuses such plans: a DMA
+        page store's content is journalled at *submission*, so a
+        media fault at landing time would diverge the stream from the
+        image (the page-granularity sweep covers media faults).
+        """
+        return bool(self.p_media) or bool(self._sched_media)
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------

@@ -66,6 +66,30 @@ class PMImage:
         self.mutations: List[MutationRecord] = []
         #: Installed FaultPlan (media-fault injection); None = perfect PM.
         self.fault_plan = None
+        #: Cache-line persistence journal (repro.crash.linestream);
+        #: None = mutation-granularity recording only.
+        self.linestream = None
+
+    def enable_line_recording(self):
+        """Also journal every store at cache-line granularity.
+
+        Must be enabled on a fresh recording image (before the first
+        mutation): the line stream and the mutation journal describe
+        the same history, from the first store on.
+        """
+        if not self.recording:
+            raise RuntimeError("line recording requires record=True")
+        if self.mutations:
+            raise RuntimeError(
+                "enable_line_recording() must precede the first mutation")
+        from repro.crash.linestream import LineStream
+        self.linestream = LineStream()
+        return self.linestream
+
+    def pages_fence(self) -> None:
+        """Order a CPU page-store train (clwb+sfence, persister-issued)."""
+        if self.linestream is not None:
+            self.linestream.pages_fence()
 
     # ------------------------------------------------------------------
     # Mutation methods -- every durable store goes through one of these.
@@ -86,6 +110,8 @@ class PMImage:
             data = self.fault_plan.corrupt_page_write(page_id, data)
         self.pages[page_id] = data
         self._record("write_page", page_id, data)
+        if self.linestream is not None:
+            self.linestream.page_write(page_id, data)
 
     def drop_page(self, page_id: int) -> None:
         """Return a page to free space.
@@ -102,12 +128,16 @@ class PMImage:
         """Persist an inode record (create or in-place field update)."""
         self.inodes[ino] = inode
         self._record("put_inode", ino, inode)
+        if self.linestream is not None:
+            self.linestream.inode_put(ino, inode)
 
     def drop_inode(self, ino: int) -> None:
         self.inodes.pop(ino, None)
         self.logs.pop(ino, None)
         self.log_tails.pop(ino, None)
         self._record("drop_inode", ino)
+        if self.linestream is not None:
+            self.linestream.inode_drop(ino)
 
     def append_log(self, ino: int, entry: Any) -> int:
         """Write a log entry *past the committed tail* (not yet valid).
@@ -119,23 +149,31 @@ class PMImage:
         log = self.logs.setdefault(ino, [])
         log.append(entry)
         self._record("append_log", ino, entry)
+        if self.linestream is not None:
+            self.linestream.log_append(ino, entry)
         return len(log) - 1
 
     def commit_log_tail(self, ino: int, tail: int) -> None:
         """The atomic 8-byte tail update: NOVA's commit point."""
         self.log_tails[ino] = tail
         self._record("commit_log_tail", ino, tail)
+        if self.linestream is not None:
+            self.linestream.log_commit(ino, tail)
 
     def journal_begin(self, txn: Any) -> None:
         """Persist a journal record for a multi-inode transaction."""
         self.journal.append(txn)
         self._record("journal_begin", txn)
+        if self.linestream is not None:
+            self.linestream.journal_begin(txn)
 
     def journal_end(self) -> None:
         """Retire the journal record (transaction fully applied)."""
         if self.journal:
             self.journal.pop()
         self._record("journal_end")
+        if self.linestream is not None:
+            self.linestream.journal_retire()
 
     def update_completion_buffer(self, channel_id: int, sn: int) -> None:
         """The DMA engine persists a channel's completion buffer value.
@@ -145,6 +183,8 @@ class PMImage:
         """
         self.completion_buffers[channel_id] = sn
         self._record("update_completion_buffer", channel_id, sn)
+        if self.linestream is not None:
+            self.linestream.completion_update(channel_id, sn)
 
     def record_channel_errors(self, channel_id: int,
                               sns: Tuple[int, ...]) -> None:
@@ -158,6 +198,8 @@ class PMImage:
         """
         self.channel_error_sns.setdefault(channel_id, set()).update(sns)
         self._record("record_channel_errors", channel_id, tuple(sorted(sns)))
+        if self.linestream is not None:
+            self.linestream.error_log(channel_id, tuple(sorted(sns)))
 
     def amend_log_sns(self, ino: int, index: int,
                       sns: Tuple[Tuple[int, int], ...]) -> None:
@@ -172,6 +214,8 @@ class PMImage:
         entry = self.logs[ino][index]
         self.logs[ino][index] = replace(entry, sns=tuple(sns))
         self._record("amend_log_sns", ino, index, tuple(sns))
+        if self.linestream is not None:
+            self.linestream.sn_amend(ino, index, tuple(sns))
 
     # ------------------------------------------------------------------
     # Allocation counters (volatile in NOVA, rebuilt on recovery; we
@@ -181,12 +225,16 @@ class PMImage:
         ino = self.next_ino
         self.next_ino += 1
         self._record("alloc_ino", ino)
+        if self.linestream is not None:
+            self.linestream.alloc_ino(ino)
         return ino
 
     def alloc_page_ids(self, count: int) -> List[int]:
         ids = list(range(self.next_page, self.next_page + count))
         self.next_page += count
         self._record("alloc_page_ids", self.next_page)
+        if self.linestream is not None:
+            self.linestream.alloc_pages(self.next_page)
         return ids
 
     # ------------------------------------------------------------------

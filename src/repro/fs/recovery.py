@@ -27,10 +27,25 @@ from repro.fs.structures import (
     FileKind,
     PageMapping,
     SetAttrEntry,
+    TornEntry,
+    TornRecord,
     WriteEntry,
 )
 
 SnValidator = Callable[[Tuple[Tuple[int, int], ...]], bool]
+
+
+class TornLogEntryError(Exception):
+    """Metadata corruption: a torn log entry inside a committed prefix.
+
+    NOVA log entries carry no per-entry checksum; the append/commit
+    fence is the only thing guaranteeing a committed entry is whole.
+    The line-granularity crash model can plant
+    :class:`~repro.fs.structures.TornEntry` sentinels where that fence
+    was violated -- recovery cannot parse such an entry and must fail
+    loudly rather than replay garbage.  (Torn entries *beyond* the
+    committed tail are simply never read: the tail scan discards them.)
+    """
 
 
 def completion_buffer_validator(image: PMImage) -> SnValidator:
@@ -77,6 +92,11 @@ def recover(fs, sn_validator: Optional[SnValidator] = None):
         m.kind, m.links = inode.kind, inode.links
         fs._mem[ino] = m
         for entry in image.committed_log(ino):
+            if isinstance(entry, TornEntry):
+                raise TornLogEntryError(
+                    f"inode {ino}: torn {entry.of} "
+                    f"({entry.lines}/{entry.total} lines) inside the "
+                    f"committed log prefix")
             if isinstance(entry, WriteEntry):
                 if entry.sns and sn_validator is not None \
                         and not sn_validator(entry.sns):
@@ -104,6 +124,13 @@ def recover(fs, sn_validator: Optional[SnValidator] = None):
 
     # Pass 2: roll the rename journal forward or back.
     for txn in list(image.journal):
+        if isinstance(txn, TornRecord):
+            # Journal records are checksummed (NOVA's lite journal):
+            # a torn record is detectably invalid -- retire it and
+            # roll back (the dentries it guards were never touched,
+            # or the per-inode logs already carry them).
+            image.journal_end()
+            continue
         dst = fs._mem.get(txn.dst_dir)
         src = fs._mem.get(txn.src_dir)
         if dst is None or src is None:

@@ -103,6 +103,39 @@ class RenameTxn:
     kind: FileKind
 
 
+@dataclass(frozen=True)
+class TornEntry:
+    """A partially persisted log entry (cache-line crash model).
+
+    Line-granularity crash replay plants one of these where a
+    multi-line log append was interrupted mid-entry.  NOVA log entries
+    carry no checksum: the only thing protecting them is the ordering
+    fence between the append and the 8-byte tail commit.  A TornEntry
+    *inside the committed prefix* therefore means that fence was
+    violated -- recovery treats it as metadata corruption.  Beyond the
+    committed tail it is harmless (the tail scan never reads it).
+    """
+
+    of: str          # entry type that was torn (e.g. "WriteEntry")
+    lines: int       # cache lines that landed
+    total: int       # cache lines the full entry spans
+
+
+@dataclass(frozen=True)
+class TornRecord:
+    """A partially persisted journal record (cache-line crash model).
+
+    Unlike log entries, journal records carry commit/checksum semantics
+    (NOVA's lite journal validates records before replaying them), so a
+    torn record is *detectably* invalid: recovery must silently retire
+    it and roll the transaction back.
+    """
+
+    of: str
+    lines: int
+    total: int
+
+
 @dataclass(slots=True)
 class PageMapping:
     """Volatile block-mapping slot: one file page -> physical page.

@@ -183,6 +183,14 @@ class DmaAsyncBackend(CopyBackend):
         # movement, so it lands in the memcpy bucket.
         descs = [j.desc for j in jobs]
         yield from ctx.timed_cpu("memcpy", channel.submit_all(descs))
+        stream = self.persister.image.linestream
+        if stream is not None:
+            # Line-granularity crash model: the pages are in flight
+            # from submission (SNs are assigned by submit_all) until a
+            # completion fence covers their descriptor.
+            for j in jobs:
+                stream.announce_dma_pages(channel.channel_id, j.desc.sn,
+                                          j.pids, j.contents)
         return jobs
 
     def read(self, ctx, plan: IoPlan, force_sync: bool) -> List[DmaJob]:

@@ -37,6 +37,10 @@ class PagePersister:
         image = self.image
         for pid, content in zip(pids, contents):
             image.write_page(pid, content)
+        # clwb+sfence over the store train (line-granularity crash
+        # model; a no-op when the batch landed via DMA or the image is
+        # not line-recording).
+        image.pages_fence()
         self._trace_persist(pids)
 
     def on_complete(self, pids, contents):
@@ -111,4 +115,5 @@ class VerifyingPagePersister(PagePersister):
                         f"page {pid}: media faults persist after "
                         f"{rewrites - 1} rewrites")
                 image.write_page(pid, content)
+        image.pages_fence()
         self._trace_persist(pids)

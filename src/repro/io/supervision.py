@@ -53,6 +53,13 @@ class FaultSupervisor:
     DMA_RETRY_BASE_NS = 2_000
     DMA_RETRY_CAP_NS = 64_000
 
+    #: Test-only planted ordering bug: persist degraded pages only
+    #: *after* the SN amendment, instead of before (see
+    #: repro.core.easyio.install_crash_mutant).  The line-granularity
+    #: crash sweep must catch the valid-entry/absent-pages window this
+    #: opens.
+    mutant_reorder_amend = False
+
     def __init__(self, engine, cm, image, memory, persister,
                  overload_stats):
         self.engine = engine
@@ -61,6 +68,7 @@ class FaultSupervisor:
         self.memory = memory
         self.persister = persister
         self.overload_stats = overload_stats
+        self._deferred_persists = []
 
     @property
     def fault_stats(self):
@@ -94,6 +102,12 @@ class FaultSupervisor:
                          old=orig_sns, new=final_sns)
             if m.pending_sns == orig_sns:
                 m.pending_sns = final_sns
+        if self._deferred_persists:
+            # Only the reorder-amend mutant defers persists; flushing
+            # them here (after the amendment) is the planted bug.
+            for pids, contents in self._deferred_persists:
+                self.persister.persist(pids, contents)
+            self._deferred_persists.clear()
         outer.succeed(None)
 
     def supervise_read(self, app, ino: int, jobs: List[DmaJob], outer,
@@ -162,6 +176,13 @@ class FaultSupervisor:
                 j.desc = redo
                 j.channel = target
                 yield from target.submit([redo])
+                stream = self.image.linestream
+                if stream is not None and j.write:
+                    # Re-announce the pages under the redo descriptor's
+                    # (channel, sn): the original announcement was
+                    # cancelled when its descriptor failed.
+                    stream.announce_dma_pages(target.channel_id,
+                                              redo.sn, j.pids, j.contents)
 
     def _degrade_job(self, j: DmaJob, ino: int):
         """Graceful degradation: move one job's bytes via memcpy."""
@@ -178,5 +199,8 @@ class FaultSupervisor:
         yield from self.memory.cpu_copy(j.nbytes, write=j.write,
                                         tag=("degrade", ino))
         if j.write:
-            self.persister.persist(j.pids, j.contents)
+            if self.mutant_reorder_amend:
+                self._deferred_persists.append((j.pids, j.contents))
+            else:
+                self.persister.persist(j.pids, j.contents)
         j.final = ()

@@ -1,0 +1,171 @@
+"""The cache-line persistence journal (repro.crash.linestream).
+
+Pins the model-level invariants of the line stream:
+
+* exact 64B tiling of data stores (a multi-page orderless write
+  decomposes into per-page line stores whose slices partition the
+  payload);
+* fence epochs correspond to the trace events of the same run (every
+  commit fence has its ``write_commit``, every pages fence its
+  ``pages_persist``);
+* the everything-landed replay equals the mutation-journal replay
+  (the equivalence tying the line model to the page model);
+* the recording guards (record=True, before-first-mutation).
+"""
+
+import pytest
+
+from repro.crash.crashmonkey import CRASH_WORKLOADS, _record_workload
+from repro.crash.linestream import (
+    CACHE_LINE,
+    FenceRec,
+    LineStream,
+    LineStore,
+    replay_full,
+)
+from repro.faults import ChannelHaltFault, FaultPlan
+from repro.fs.pmimage import PMImage
+
+
+def _line_stores(stream, mech):
+    return [r for r in stream.records
+            if isinstance(r, LineStore) and r.mech == mech]
+
+
+def _fences(stream, label):
+    return [r for r in stream.records
+            if isinstance(r, FenceRec) and r.label == label]
+
+
+def _record(kind, workload="generic_056", iterations=4, **kw):
+    desc, driver, _ = CRASH_WORKLOADS[workload]
+    return _record_workload(kind, driver, iterations, lines=True, **kw)
+
+
+class TestTiling:
+    def test_multi_page_write_tiles_exactly(self):
+        """A 12288B (3-page) write decomposes into three page-data
+        stores of exactly 64 cache lines each, slices partitioning
+        the payload."""
+        image, _ = _record("easyio", "create_delete", iterations=2)
+        stream = image.linestream
+        stores = _line_stores(stream, "page-data")
+        assert stores, "workload wrote no page data"
+        # Page stores are per 4096B page: some op window (a 12288B
+        # write) must contain at least three of them, 64 lines each.
+        counts = [sum(1 for r in stream.records[s:e]
+                      if isinstance(r, LineStore) and r.mech == "page-data")
+                  for s, e in stream.op_bounds]
+        assert max(counts) >= 3
+        for s in stores:
+            assert s.nlines == (len(s.payload) + CACHE_LINE - 1) // CACHE_LINE
+            slices = s.line_slices()
+            assert [i for i, _b in slices] == list(range(s.nlines))
+            assert b"".join(b for _i, b in slices) == s.payload
+            for i, b in slices[:-1]:
+                assert len(b) == CACHE_LINE
+
+    def test_page_stores_are_64_lines_per_4k_page(self):
+        image, _ = _record("nova", "generic_056", iterations=3)
+        per_page = [s for s in _line_stores(image.linestream, "page-data")
+                    if len(s.payload) == 4096]
+        assert per_page
+        assert all(s.nlines == 64 for s in per_page)
+
+    def test_op_bounds_cover_stream(self):
+        image, oracle = _record("easyio", "generic_056", iterations=4)
+        stream = image.linestream
+        bounds = stream.op_bounds
+        assert len(bounds) == len(oracle)
+        assert all(s <= e for s, e in bounds)
+        # Ends are non-decreasing and within the stream.
+        ends = [e for _s, e in bounds]
+        assert ends == sorted(ends)
+        assert ends[-1] <= stream.position()
+
+
+class TestFenceTraceCorrespondence:
+    def test_easyio_commit_fences_match_write_commit_events(self):
+        image, _ = _record("easyio", "generic_056", iterations=4,
+                           trace_oracles=True)
+        events = image.linestream.tracer.events
+        commits = [ev for ev in events if ev.name == "write_commit"]
+        commit_fences = _fences(image.linestream, "commit")
+        # Every committed write flushed its tail with a commit fence
+        # (creates/links commit too, so fences >= write commits).
+        assert commits
+        assert len(commit_fences) >= len(commits)
+        line_fences = [ev for ev in events if ev.name == "line_fence"]
+        assert len(line_fences) == sum(
+            1 for r in image.linestream.records if isinstance(r, FenceRec))
+
+    def test_nova_pages_fences_match_pages_persist_events(self):
+        image, _ = _record("nova", "generic_056", iterations=4,
+                           trace_oracles=True)
+        events = image.linestream.tracer.events
+        persists = [ev for ev in events if ev.name == "pages_persist"
+                    and ev.args.get("pids")]
+        pages_fences = _fences(image.linestream, "pages")
+        # NOVA persists every write synchronously over CPU stores: one
+        # pages fence per content-carrying persist batch.
+        assert persists
+        assert len(pages_fences) == len(persists)
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("kind", ["nova", "easyio", "naive"])
+    def test_replay_full_equals_mutation_replay(self, kind):
+        image, _ = _record(kind, "generic_056", iterations=5)
+        full = replay_full(image.linestream)
+        ref = image.replay(len(image.mutations))
+        assert full.pages == ref.pages
+        assert full.inodes == ref.inodes
+        assert full.logs == ref.logs
+        assert full.log_tails == ref.log_tails
+        assert full.journal == ref.journal
+        assert full.completion_buffers == ref.completion_buffers
+        assert full.channel_error_sns == ref.channel_error_sns
+        assert (full.next_ino, full.next_page) == (ref.next_ino,
+                                                   ref.next_page)
+
+    def test_replay_full_equals_mutation_replay_under_halts(self):
+        """Failover (cancelled announcements, re-announced redos,
+        degraded CPU trains, SN amends) keeps the two models equal."""
+        plan = lambda: FaultPlan(schedule=[ChannelHaltFault(0, 2)])
+        image, _ = _record("easyio", "generic_056", iterations=5,
+                           fault_plan=plan)
+        full = replay_full(image.linestream)
+        ref = image.replay(len(image.mutations))
+        assert full.pages == ref.pages
+        assert full.logs == ref.logs
+        assert full.log_tails == ref.log_tails
+        assert full.completion_buffers == ref.completion_buffers
+        assert full.channel_error_sns == ref.channel_error_sns
+
+
+class TestGuards:
+    def test_line_recording_requires_recording_image(self):
+        img = PMImage(record=False)
+        with pytest.raises(RuntimeError, match="record=True"):
+            img.enable_line_recording()
+
+    def test_line_recording_must_precede_mutations(self):
+        img = PMImage(record=True)
+        img.put_inode(1, object())
+        with pytest.raises(RuntimeError, match="precede"):
+            img.enable_line_recording()
+
+    def test_media_fault_plans_refused(self):
+        from repro.crash.crashmonkey import run_crash_test
+        from repro.faults import MediaFault
+        plan = lambda: FaultPlan(schedule=[MediaFault(1)])
+        with pytest.raises(ValueError, match="media"):
+            run_crash_test("easyio", "generic_056", granularity="line",
+                           fault_plan=plan)
+
+    def test_skipped_fence_knob_counts(self):
+        stream = LineStream()
+        stream.skipped_fences.add("commit")
+        stream.log_commit(1, 1)
+        assert stream.fences_skipped == 1
+        assert not _fences(stream, "commit")
