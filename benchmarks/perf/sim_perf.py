@@ -20,17 +20,24 @@ script measures how fast the simulator runs on the host:
   crash model's wall-clock unit (DESIGN.md §13).
 
 Results land in ``BENCH_sim_perf.json`` at the repo root (committed,
-so CI can gate on regressions).  Usage::
+so CI can gate on regressions).  The file is an append-only
+*trajectory*: ``{"entries": [...]}``, one labelled report per PR (the
+ROADMAP item-2 tracked history), newest last.  A legacy single-report
+file is adopted as the first entry.  Usage::
 
-    PYTHONPATH=src python benchmarks/perf/sim_perf.py            # measure + write
+    PYTHONPATH=src python benchmarks/perf/sim_perf.py            # measure + append
     PYTHONPATH=src python benchmarks/perf/sim_perf.py --quick    # CI-sized run
     PYTHONPATH=src python benchmarks/perf/sim_perf.py --check    # gate vs committed
+    PYTHONPATH=src python benchmarks/perf/sim_perf.py --label pr9
     PYTHONPATH=src python benchmarks/perf/sim_perf.py --out x.json
 
-``--check`` compares against the committed baseline and exits 1 when
-any wall-clock metric regressed by more than ``REGRESSION_MAX`` (CI
-runners are noisy; 1.5x is a real regression, not jitter).  Timings
-are best-of-``--repeat`` to shave scheduling noise.
+``--check`` compares against the committed baseline's **latest entry**
+and exits 1 when any wall-clock metric regressed by more than
+``REGRESSION_MAX`` (CI runners are noisy; 1.5x is a real regression,
+not jitter).  Timings are best-of-``--repeat`` to shave scheduling
+noise.  Each report also records the engine microbenchmark under both
+event-queue schedulers (``heap`` and ``wheel``) so the trajectory
+tracks the scheduler gap PR by PR.
 """
 
 from __future__ import annotations
@@ -80,10 +87,10 @@ def _best_of(repeat, fn):
 # ----------------------------------------------------------------------
 # Section 1: pure engine throughput
 # ----------------------------------------------------------------------
-def bench_engine(events_target: int) -> dict:
+def bench_engine(events_target: int, scheduler=None) -> dict:
     """Events/sec of the bare engine: pooled sleeps across processes."""
     def run():
-        engine = Engine()
+        engine = Engine(scheduler=scheduler)
         per_proc = events_target // 4
 
         def ticker():
@@ -189,9 +196,13 @@ def bench_replication(repeat: int) -> dict:
 # Report / regression gate
 # ----------------------------------------------------------------------
 def measure(quick: bool, repeat: int) -> dict:
+    from repro.sim import DEFAULT_SCHEDULER
+
     events = 100_000 if quick else 400_000
     duration_us, warmup_us = (400, 100) if quick else (1200, 300)
     engine = bench_engine(events)
+    per_scheduler = {name: bench_engine(events, name)
+                     for name in ("heap", "wheel")}
     fig08 = bench_fig08_probe(repeat)
     fig09 = bench_fig09(repeat, duration_us, warmup_us)
     repl = bench_replication(repeat)
@@ -199,7 +210,12 @@ def measure(quick: bool, repeat: int) -> dict:
     report = {
         "mode": "quick" if quick else "full",
         "host_cpus": os.cpu_count() or 1,
+        "scheduler": DEFAULT_SCHEDULER,
         "engine": engine,
+        "engine_by_scheduler": {
+            name: {"events_per_sec": r["events_per_sec"],
+                   "wall_s": r["wall_s"]}
+            for name, r in per_scheduler.items()},
         "figures": {
             "fig08_probe": fig08,
             "fig09_sweep_serial": fig09["fig09_sweep_serial"],
@@ -219,14 +235,33 @@ def measure(quick: bool, repeat: int) -> dict:
     return report
 
 
-def check(report: dict, baseline_path: str) -> int:
-    """Exit status for the CI gate: 1 on a >REGRESSION_MAX regression."""
+def load_entries(path: str) -> list:
+    """The benchmark trajectory at ``path`` (oldest first).
+
+    Accepts both the current ``{"entries": [...]}`` layout and the
+    legacy single-report file, which becomes the first entry.
+    """
     try:
-        with open(baseline_path) as f:
-            baseline = json.load(f)
+        with open(path) as f:
+            data = json.load(f)
     except FileNotFoundError:
+        return []
+    if isinstance(data, dict) and "entries" in data:
+        return list(data["entries"])
+    if isinstance(data, dict) and data:
+        data.setdefault("label", "pre-trajectory")
+        return [data]
+    return []
+
+
+def check(report: dict, baseline_path: str) -> int:
+    """Exit status for the CI gate: 1 on a >REGRESSION_MAX regression
+    against the committed trajectory's latest entry."""
+    entries = load_entries(baseline_path)
+    if not entries:
         print(f"check: no committed baseline at {baseline_path}; skipping")
         return 0
+    baseline = entries[-1]
     if baseline.get("mode") != report["mode"]:
         # Wall times are only comparable at the same sweep size: scale
         # the gate off the freshly measured serial/fast ratio instead.
@@ -268,12 +303,15 @@ def main(argv=None) -> int:
                          f"regression vs the committed baseline")
     ap.add_argument("--repeat", type=int, default=2,
                     help="timings are best-of-N (default 2)")
+    ap.add_argument("--label", default="dev",
+                    help="trajectory entry label, e.g. pr9 (default dev)")
     ap.add_argument("--out", default=None,
-                    help=f"write the report here (default {DEFAULT_OUT}; "
-                         f"with --check the default is to not overwrite)")
+                    help=f"append the report here (default {DEFAULT_OUT}; "
+                         f"with --check the default is to not write)")
     args = ap.parse_args(argv)
 
     report = measure(args.quick, args.repeat)
+    report["label"] = args.label
     print(json.dumps(report, indent=1, sort_keys=True))
     status = 0
     if args.check:
@@ -282,10 +320,16 @@ def main(argv=None) -> int:
     if out is None and not args.check:
         out = DEFAULT_OUT
     if out:
+        entries = load_entries(out)
+        # Re-measuring under an existing label replaces that entry
+        # (keeps one entry per PR however often the harness reruns).
+        entries = [e for e in entries if e.get("label") != args.label]
+        entries.append(report)
         with open(out, "w") as f:
-            json.dump(report, f, indent=1, sort_keys=True)
+            json.dump({"entries": entries}, f, indent=1, sort_keys=True)
             f.write("\n")
-        print(f"wrote {out}")
+        print(f"wrote {out} ({len(entries)} entries, newest "
+              f"{args.label!r})")
     return status
 
 

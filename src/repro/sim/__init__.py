@@ -20,6 +20,13 @@ from repro.sim.engine import (
     Timeout,
     WaitTimeout,
 )
+from repro.sim.queues import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    EventQueue,
+    PackedHeapQueue,
+    TimingWheelQueue,
+)
 from repro.sim.sync import (
     Barrier,
     Channel,
@@ -33,16 +40,21 @@ from repro.sim.sync import (
 __all__ = [
     "Barrier",
     "Channel",
+    "DEFAULT_SCHEDULER",
     "Engine",
     "Event",
+    "EventQueue",
     "Gate",
     "Interrupt",
     "Lock",
+    "PackedHeapQueue",
     "Process",
     "RWLock",
+    "SCHEDULERS",
     "Semaphore",
     "SimulationError",
     "Store",
+    "TimingWheelQueue",
     "Timeout",
     "WaitTimeout",
 ]

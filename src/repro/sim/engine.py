@@ -1,27 +1,30 @@
 """Discrete-event simulation engine.
 
-The engine keeps a priority queue of scheduled events ordered by
-``(time, sequence)``.  Processes are generator coroutines that yield
-:class:`Event` objects; the engine resumes a process when the event it
-is waiting on fires.  Time is an integer number of nanoseconds, which
-keeps arithmetic exact and traces reproducible.
+The engine keeps a schedule queue of triggered events ordered by
+``(time, schedule-order)``.  Processes are generator coroutines that
+yield :class:`Event` objects; the engine resumes a process when the
+event it is waiting on fires.  Time is an integer number of
+nanoseconds, which keeps arithmetic exact and traces reproducible.
 
 Hot-path design (the engine is the throughput ceiling for every
 figure sweep, so the representation is tuned without changing the
-``(time, sequence)`` firing order):
+``(time, schedule-order)`` firing order):
 
-* Heap entries are ``(key, event)`` 2-tuples with the integer key
-  ``(when << 40) | seq`` -- one C-level int comparison per sift step
-  instead of lexicographic tuple comparison, and one less tuple field
-  of churn.  ``seq`` is globally unique and bounded below ``2**40``
-  (guarded), so the int order *is* the ``(when, seq)`` order.
+* The schedule queue is pluggable (see :mod:`repro.sim.queues`):
+  ``Engine(scheduler="heap")`` keeps the reference packed-key binary
+  heap, ``Engine(scheduler="wheel")`` -- the default -- uses a
+  hierarchical timing wheel whose per-timestamp FIFO buckets make
+  pushes O(1) amortised.  Both produce byte-identical schedules.
+* The run loop *batch-fires*: all events at one ``when`` drain in a
+  single queue dispatch, so the clock, the limit check, and the queue
+  are touched once per distinct timestamp instead of once per event.
 * :meth:`Engine.sleep` hands out pooled one-shot timer events for the
   fire-and-forget delays that dominate simulations (CPU cost charges,
   scheduler switch costs, device service delays).  See its docstring
   for the (strict) usage contract.
-* Cancelled events already in the heap are counted and the heap is
-  lazily compacted once they dominate, so cancel-heavy overload runs
-  do not drag dead entries through every ``heappop`` forever.
+* Cancelled events already queued are counted and the queue is lazily
+  compacted once they dominate, so cancel-heavy overload runs do not
+  drag dead entries around forever.
 * :class:`AnyOf`/:class:`AllOf` fast-path the 1-event case.
 
 Example
@@ -41,8 +44,10 @@ Example
 from __future__ import annotations
 
 import gc
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.queues import TimingWheelQueue, make_queue
 
 
 class SimulationError(Exception):
@@ -76,17 +81,12 @@ _TRIGGERED = 1  # scheduled to fire, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
 _CANCELLED = 3  # withdrawn; callbacks will never run
 
-#: Heap keys pack (when, seq) as ``(when << _TIME_SHIFT) | seq``.
-_TIME_SHIFT = 40
-_SEQ_LIMIT = 1 << _TIME_SHIFT
-
-#: Compaction policy: rebuild the heap when more than this many
-#: cancelled entries are queued *and* they outnumber the live ones.
-_COMPACT_MIN_DEAD = 64
-
 #: When set, every new :class:`Engine` calls this with itself and
 #: stores the result as its ``tracer`` (see :func:`set_tracer_factory`).
 _TRACER_FACTORY: Optional[Callable[["Engine"], Any]] = None
+
+#: run(until=None) limit: beyond any reachable simulated time.
+_NO_LIMIT = 1 << 120
 
 
 def set_tracer_factory(factory: Optional[Callable[["Engine"], Any]]) -> None:
@@ -114,8 +114,9 @@ class EngineStats:
 
     ``events_fired`` counts processed events, ``events_cancelled``
     counts :meth:`Event.cancel` calls that performed a cancellation,
-    and ``heap_compactions`` counts lazy rebuilds of the schedule heap
-    (each one evicts the cancelled entries accumulated so far).
+    and ``heap_compactions`` counts lazy rebuilds of the schedule queue
+    (each one evicts the cancelled entries accumulated so far; the name
+    predates the pluggable queue and covers both implementations).
     ``sleeps_reused`` counts pooled :meth:`Engine.sleep` recycles.
     """
 
@@ -150,7 +151,7 @@ class Event:
     *processed* and its value is frozen.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_state", "_when")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_state")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -192,14 +193,22 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
         self._state = _TRIGGERED
-        # Inlined _schedule(self, 0): succeed() is the hottest trigger.
+        # succeed() is the hottest trigger: the wheel's near-window
+        # bucket push is inlined (see Engine._wheel), other queues get
+        # one bound push call.
         engine = self.engine
-        seq = engine._seq + 1
-        if seq >= _SEQ_LIMIT:  # pragma: no cover - 2**40 events
-            raise SimulationError("event sequence space exhausted")
-        engine._seq = seq
-        self._when = now = engine._now
-        heapq.heappush(engine._queue, ((now << _TIME_SHIFT) | seq, self))
+        wheel = engine._wheel
+        when = engine._now
+        if wheel is not None and when < wheel._epoch_end:
+            wheel._len += 1
+            bucket = wheel._buckets.get(when)
+            if bucket is None:
+                wheel._buckets[when] = [self]
+                heappush(wheel._whens, when)
+            else:
+                bucket.append(self)
+        else:
+            engine._push(self, when)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -240,13 +249,9 @@ class Event:
         engine = self.engine
         engine._stats.events_cancelled += 1
         if state == _TRIGGERED:
-            # The entry stays in the schedule heap; count it and
-            # compact lazily once dead entries dominate.
-            dead = engine._heap_dead + 1
-            engine._heap_dead = dead
-            if (dead > _COMPACT_MIN_DEAD
-                    and dead * 2 > len(engine._queue)):
-                engine._compact()
+            # The entry stays in the schedule queue; the queue counts
+            # it and compacts lazily once dead entries dominate.
+            engine._queue.note_cancelled(self)
         return True
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -455,22 +460,29 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         if self._state != _PENDING:
             return
-        # Ignore stale wakeups: if we are waiting on some other event and
-        # this resume is not an interrupt delivery, drop it.
+        # The branch order favours the hot case: resumed by the event
+        # we are waiting on, successfully, with no interrupt queued.
+        # _waiting_on is left stale through the generator step: the
+        # consumed event can never fire again, every exit path below
+        # either parks on a new target or finishes the process, and the
+        # stale-wakeup test compares against the `waited` local.
         waited = self._waiting_on
-        if (waited is not None and event is not waited
-                and not self._interrupts):
-            return
-        self._waiting_on = None
+        generator = self.generator
         try:
             if self._interrupts:
-                exc = self._interrupts.pop(0)
-                target = self.generator.throw(exc)
-            elif event is waited and not event._ok:
-                # Mark the failure as handled by this process.
-                target = self.generator.throw(event._value)
+                target = generator.throw(self._interrupts.pop(0))
+            elif event is waited:
+                if event._ok:
+                    target = generator.send(event._value)
+                else:
+                    # Mark the failure as handled by this process.
+                    target = generator.throw(event._value)
+            elif waited is not None:
+                # Stale wakeup: waiting on some other event and this
+                # resume is not an interrupt delivery.
+                return
             else:
-                target = self.generator.send(event._value if event is waited else None)
+                target = generator.send(None)
         except StopIteration as stop:
             self.succeed(stop.value)
             self._resume_cb = None  # break the self-reference cycle
@@ -485,16 +497,29 @@ class Process(Event):
             self.fail(exc)
             self._resume_cb = None
             return
+        try:
+            # Duck-typed hot path: every Event has `engine` and
+            # `callbacks`; a non-event yield lands in the AttributeError
+            # arm.  Inlines target.add_callback(self._resume_cb) -- the
+            # hottest callback registration in the simulator.
+            if target.engine is self.engine:
+                self._waiting_on = target
+                callbacks = target.callbacks
+                if callbacks is not None:
+                    callbacks.append(self._resume_cb)
+                elif target._state == _PROCESSED:
+                    self._resume(target)
+                # A cancelled target keeps the process parked, exactly
+                # as add_callback's no-op branch did.
+                return
+        except AttributeError:
+            pass
         if not isinstance(target, Event):
             self.fail(SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"))
-            return
-        if target.engine is not self.engine:
+        else:
             self.fail(SimulationError(
                 f"process {self.name!r} yielded event from another engine"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume_cb)
 
 
 class Engine:
@@ -504,20 +529,43 @@ class Engine:
     ----------
     now:
         Current simulated time in nanoseconds.
+
+    Parameters
+    ----------
+    scheduler:
+        Which schedule queue to use: ``"heap"`` (the reference packed
+        binary heap), ``"wheel"`` (hierarchical timing wheel, the
+        default), an :class:`~repro.sim.queues.EventQueue` subclass, or
+        an instance.  None picks the process default
+        (:data:`repro.sim.queues.DEFAULT_SCHEDULER`, overridable with
+        the ``REPRO_SIM_SCHEDULER`` environment variable).  Both
+        shipped queues produce byte-identical schedules; the knob
+        exists for validation and benchmarking.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active", "_sleep_pool",
-                 "_heap_dead", "_stats", "_done", "tracer")
+    __slots__ = ("_now", "_queue", "_push", "_wheel", "_active",
+                 "_sleep_pool", "_sleeps_reused", "_stats", "_done",
+                 "tracer")
 
-    def __init__(self):
+    def __init__(self, scheduler=None):
         self._now: int = 0
-        self._queue: list = []
-        self._seq: int = 0
+        self._stats = EngineStats()
+        # Kept as a plain engine slot (cheaper to bump than a field of
+        # _stats on the sleep() hot path) and synced into _stats by the
+        # `stats` property.
+        self._sleeps_reused = 0
+        queue = make_queue(scheduler)
+        queue.stats = self._stats
+        self._queue = queue
+        # Bound push method: the one-attribute-load schedule call used
+        # by the hot triggers (succeed / sleep / _schedule).
+        self._push = queue.push
+        # Exact-type check: the near-window push of the stock wheel is
+        # inlined at the hottest trigger sites (succeed / sleep), which
+        # is only sound when push() has the stock implementation.
+        self._wheel = queue if type(queue) is TimingWheelQueue else None
         self._active = False
         self._sleep_pool: list = []
-        #: Cancelled entries currently sitting in the schedule heap.
-        self._heap_dead: int = 0
-        self._stats = EngineStats()
         #: Structured tracer (see repro.obs), or None.  Every
         #: instrumentation site guards on ``engine.tracer is not None``,
         #: so the default costs one attribute load per site.
@@ -537,14 +585,21 @@ class Engine:
     @property
     def stats(self) -> EngineStats:
         """Counters: events fired / cancelled, heap compactions, ..."""
+        self._stats.sleeps_reused = self._sleeps_reused
         return self._stats
+
+    @property
+    def scheduler(self) -> str:
+        """Name of the schedule queue implementation in use."""
+        return self._queue.name
 
     def reset_stats(self) -> None:
         """Zero the engine's counters (the clock and queue are untouched).
 
-        ``_heap_dead`` tracks live heap state, not history, so it is
-        deliberately left alone.
+        The queue's dead-entry count tracks live state, not history, so
+        it is deliberately left alone.
         """
+        self._sleeps_reused = 0
         self._stats.reset()
 
     @property
@@ -560,7 +615,11 @@ class Engine:
 
     @property
     def heap_size(self) -> int:
-        """Entries in the schedule heap (including cancelled ones)."""
+        """Entries in the schedule queue (including cancelled ones).
+
+        The name predates the pluggable queue; it reports whichever
+        implementation the engine runs on.
+        """
         return len(self._queue)
 
     # -- event factories --------------------------------------------
@@ -588,22 +647,30 @@ class Engine:
         """
         pool = self._sleep_pool
         if pool:
+            # The run loop parked it TRIGGERED with an emptied callbacks
+            # list, so reuse touches no event state at all.
             ev = pool.pop()
-            ev.callbacks = []
-            ev._state = _TRIGGERED
-            self._stats.sleeps_reused += 1
+            self._sleeps_reused += 1
         else:
             ev = _PooledSleep(self)
             ev._state = _TRIGGERED
-        delay = int(delay)
+        if delay.__class__ is not int:
+            delay = int(delay)
         if delay < 0:
             raise SimulationError(f"negative sleep delay: {delay}")
-        seq = self._seq + 1
-        if seq >= _SEQ_LIMIT:  # pragma: no cover - 2**40 events
-            raise SimulationError("event sequence space exhausted")
-        self._seq = seq
-        ev._when = when = self._now + delay
-        heapq.heappush(self._queue, ((when << _TIME_SHIFT) | seq, ev))
+        when = self._now + delay
+        wheel = self._wheel
+        if wheel is not None and when < wheel._epoch_end:
+            # Inlined near-window wheel push (the hottest schedule op).
+            wheel._len += 1
+            bucket = wheel._buckets.get(when)
+            if bucket is None:
+                wheel._buckets[when] = [ev]
+                heappush(wheel._whens, when)
+            else:
+                bucket.append(ev)
+        else:
+            self._push(ev, when)
         return ev
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -625,24 +692,7 @@ class Engine:
 
     # -- scheduling --------------------------------------------------
     def _schedule(self, event: Event, delay: int = 0) -> None:
-        seq = self._seq + 1
-        if seq >= _SEQ_LIMIT:  # pragma: no cover - 2**40 events
-            raise SimulationError("event sequence space exhausted")
-        self._seq = seq
-        event._when = when = self._now + delay
-        heapq.heappush(self._queue, ((when << _TIME_SHIFT) | seq, event))
-
-    def _compact(self) -> None:
-        """Rebuild the schedule heap without its cancelled entries.
-
-        In-place (slice assignment) so a ``run()`` loop holding a
-        reference to the queue keeps seeing the same list object.
-        """
-        q = self._queue
-        q[:] = [entry for entry in q if entry[1]._state != _CANCELLED]
-        heapq.heapify(q)
-        self._heap_dead = 0
-        self._stats.heap_compactions += 1
+        self._push(event, self._now + delay)
 
     def call_at(self, when: int, fn: Callable[[], None]) -> Event:
         """Run ``fn`` at absolute time ``when`` (must not be in the past)."""
@@ -673,34 +723,13 @@ class Engine:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
-        queue = self._queue
-        pool = self._sleep_pool
-        pop = heapq.heappop
-        # key >= limit  <=>  when > until  (seq bits are below the shift).
-        # A beyond-any-schedule sentinel for the unbounded case keeps
-        # the loop to a single comparison per event.
-        limit = ((until + 1) << _TIME_SHIFT) if until is not None \
-            else (1 << (4 * _TIME_SHIFT))
+        limit = until if until is not None else _NO_LIMIT
         fired = 0
         try:
-            while queue:
-                key, event = pop(queue)
-                if key >= limit:
-                    # Not due yet: put it back and stop (one push per
-                    # run() call, cheaper than peeking every event).
-                    heapq.heappush(queue, (key, event))
-                    break
-                if event._state == _CANCELLED:
-                    # Withdrawn after scheduling (e.g. a cancelled
-                    # Timeout): drop without advancing the clock.
-                    self._heap_dead -= 1
-                    continue
-                self._now = event._when
-                fired += 1
-                event._process_callbacks()
-                if event.__class__ is _PooledSleep:
-                    event._value = None
-                    pool.append(event)
+            if self._wheel is not None:
+                fired = self._run_wheel(limit)
+            else:
+                fired = self._run_generic(limit)
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -709,6 +738,121 @@ class Engine:
             if gc_was_enabled:
                 gc.enable()
 
+    # The two loop bodies below are intentionally the same code twice:
+    # _run_generic speaks the EventQueue interface (one pop_batch call
+    # per timestamp), _run_wheel walks the stock wheel's buckets
+    # directly to shave the per-batch call and tuple from the hottest
+    # loop in the simulator.  Keep their firing semantics in sync;
+    # tests/test_sim_queues.py pins both to identical schedules.
+    def _run_generic(self, limit: int) -> int:
+        pool = self._sleep_pool
+        pop_batch = self._queue.pop_batch
+        fired = 0
+        while True:
+            popped = pop_batch(limit)
+            if popped is None:
+                break
+            when, batch = popped
+            # Batch firing: every event scheduled for this instant, in
+            # schedule order, with Event._process_callbacks inlined.
+            # The clock is set once up front and rolled back in the
+            # (rare) case the whole batch turned out to be cancelled.
+            prev_now = self._now
+            self._now = when
+            live = len(batch)
+            for event in batch:
+                if event.__class__ is _PooledSleep:
+                    # Pooled timers stay TRIGGERED for life and fire
+                    # straight off their live callback list (appends
+                    # during firing still run, matching the processed-
+                    # event immediate-call path); the emptied list is
+                    # parked with the event for the next sleep().
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Contract-violating cancel: drop, don't recycle.
+                        live -= 1
+                        continue
+                    for fn in callbacks:
+                        fn(event)
+                    callbacks.clear()
+                    pool.append(event)
+                    continue
+                if event._state == _CANCELLED:
+                    # Withdrawn after scheduling (e.g. a cancelled
+                    # Timeout, possibly by an earlier event in this
+                    # very batch): drop without firing.
+                    live -= 1
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                elif not event._ok and isinstance(event, Process):
+                    # A process died with no one waiting on it:
+                    # surface the error, never silently.
+                    raise event._value
+            if live:
+                fired += live
+            else:
+                # Nothing fired: an all-cancelled batch must not
+                # advance the clock.
+                self._now = prev_now
+        return fired
+
+    def _run_wheel(self, limit: int) -> int:
+        wheel = self._wheel
+        pool = self._sleep_pool
+        fired = 0
+        while True:
+            # Re-read per iteration: cascade and compaction replace
+            # the wheel's internal containers.
+            whens = wheel._whens
+            if not whens:
+                if not wheel._cascade():
+                    break
+                continue
+            when = whens[0]
+            if when > limit:
+                break
+            if len(whens) == 1:
+                del whens[0]
+            else:
+                heappop(whens)
+            batch = wheel._buckets.pop(when)
+            wheel._len -= len(batch)
+            prev_now = self._now
+            self._now = when
+            live = len(batch)
+            for event in batch:
+                if event.__class__ is _PooledSleep:
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        live -= 1
+                        continue
+                    for fn in callbacks:
+                        fn(event)
+                    callbacks.clear()
+                    pool.append(event)
+                    continue
+                if event._state == _CANCELLED:
+                    live -= 1
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                elif not event._ok and isinstance(event, Process):
+                    raise event._value
+            if live:
+                fired += live
+            else:
+                self._now = prev_now
+        return fired
+
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return (self._queue[0][0] >> _TIME_SHIFT) if self._queue else None
+        return self._queue.peek_when()
