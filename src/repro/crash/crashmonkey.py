@@ -52,9 +52,31 @@ def _content_hash(fs, m) -> str:
     return hasher.hexdigest()
 
 
-def snapshot_with_content(fs) -> Snapshot:
-    """{path: ("dir"|"file", size, content-digest)} for the whole tree."""
+def snapshot_with_content(fs, digest_cache: Optional[dict] = None) -> Snapshot:
+    """{path: ("dir"|"file", size, content-digest)} for the whole tree.
+
+    ``digest_cache`` memoises digests as ``{ino: (size, layout_epoch,
+    digest)}``.  Within one call a fresh cache always applies (hard
+    links resolve to one inode, whose content cannot change mid-walk).
+    Passing a persistent dict across snapshots of the *same live fs* is
+    sound when (a) inode numbers are never reused (``PMImage.next_ino``
+    is monotonic), and (b) every content change bumps the inode's
+    ``layout_epoch`` (write commit, truncate, recovery rebuild) -- the
+    recording runner relies on this, but must not pass one when media
+    faults are in play (they corrupt page bytes without touching the
+    mapping).
+    """
     out: Snapshot = {}
+    cache = {} if digest_cache is None else digest_cache
+
+    def digest(ino: int, m) -> str:
+        key = (m.size, m.layout_epoch)
+        hit = cache.get(ino)
+        if hit is not None and hit[0] == key:
+            return hit[1]
+        value = _content_hash(fs, m)
+        cache[ino] = (key, value)
+        return value
 
     def walk(ino: int, prefix: str):
         m = fs._mem.get(ino)
@@ -69,7 +91,7 @@ def snapshot_with_content(fs) -> Snapshot:
                 out[path] = ("dir", 0, None)
                 walk(child_ino, path)
             else:
-                out[path] = ("file", child.size, _content_hash(fs, child))
+                out[path] = ("file", child.size, digest(child_ino, child))
 
     walk(0, "")
     return out
@@ -320,6 +342,7 @@ def _record_workload(kind: str, driver: Callable, iterations: int,
         else:
             fs = make_fs(kind, platform, record=True)
     image = fs.image
+    media_faulty = False
     if fault_plan is not None:
         plan = fault_plan()
         if lines and plan.has_media_faults:
@@ -327,10 +350,17 @@ def _record_workload(kind: str, driver: Callable, iterations: int,
                 "line-granularity recording cannot model media faults "
                 "(DMA payloads are journalled at submission); use the "
                 "page-granularity sweep for media-fault plans")
+        media_faulty = plan.has_media_faults
         plan.install(platform, image=image)
     if mutant is not None:
         from repro.core.easyio import install_crash_mutant
         install_crash_mutant(fs, mutant)
+    # Per-op snapshots of a live, growing tree re-hash mostly unchanged
+    # files; the epoch-keyed digest cache collapses those re-hashes.
+    # Media faults rewrite page bytes behind the mapping's back, so
+    # such plans fall back to per-snapshot caching (see
+    # snapshot_with_content's soundness contract).
+    digest_cache: Optional[dict] = None if media_faulty else {}
     # oracle[i] = (start_idx, end_idx, snapshot after op i)
     oracle: List[Tuple[int, int, Snapshot]] = []
 
@@ -346,7 +376,8 @@ def _record_workload(kind: str, driver: Callable, iterations: int,
             if marker is None:
                 break
             end = len(image.mutations)
-            oracle.append((start, end, snapshot_with_content(fs)))
+            oracle.append((start, end,
+                           snapshot_with_content(fs, digest_cache)))
             start = end
             if stream is not None:
                 send = stream.position()

@@ -41,10 +41,22 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import vector
 from repro.crash.linestream import FenceRec, LineStore, LineStream
 
 _MIX = 0x9E3779B97F4A7C15
 _MASK = (1 << 64) - 1
+
+#: Mirrors ``vector.ENABLED``; when set, the planner gathers its dedup
+#: mix values from a precomputed uint64 column (wraparound multiply ==
+#: ``& _MASK``) instead of hashing seqs one at a time.
+_VEC_ON = False
+
+
+@vector.register
+def _rebind_kernels(enabled: bool) -> None:
+    global _VEC_ON
+    _VEC_ON = enabled
 
 
 def _mix(seq: int) -> int:
@@ -130,6 +142,15 @@ class CrashPlanner:
         pending_dma: Dict[int, List[LineStore]] = {}
         cancelled = self.stream.cancelled
         records = self.stream.records
+        np = vector.numpy() if _VEC_ON else None
+        # Column of _mix(seq) for every stream position: the uint64
+        # wraparound multiply is exactly the `& _MASK` reduction.  The
+        # column is materialised back to a Python list once -- visit()
+        # runs on small in-flight sets where per-call ndarray fancy
+        # indexing costs more than plain list lookups.
+        mix_col = ((np.arange(1, len(records) + 1, dtype=np.uint64)
+                    * np.uint64(_MIX)).tolist()
+                   if np is not None and records else None)
 
         def make_durable(recs: List[LineStore]) -> None:
             nonlocal durable_hash, n_durable
@@ -150,19 +171,26 @@ class CrashPlanner:
             self.raw_states += _raw_states(flight)
             lo = bisect_right(self._ends, point)
             hi = bisect_right(self._starts, point)
-            for cls, applied, partials in _candidates(flight):
-                key = ((durable_hash + sum(_mix(s) for s in applied))
-                       & _MASK,
+            seqs = [r.seq for r in flight]
+            if mix_col is not None:
+                mixes = [mix_col[s] for s in seqs]
+            else:
+                mixes = [_mix(s) for s in seqs]
+            mix_of = dict(zip(seqs, mixes))
+            total = sum(mixes)
+            flight_sig = ",".join(sorted(f"{r.mech}{'+' if r.dep else ''}"
+                                         for r in flight))
+            for cls, applied, partials, mixsum in \
+                    _candidates_hashed(flight, mix_of, total):
+                key = ((durable_hash + mixsum) & _MASK,
                        n_durable + len(applied), partials, lo, hi)
                 if key in deduped:
                     continue
-                sig = (f"{context}|{cls}|"
-                       + ",".join(sorted(f"{r.mech}{'+' if r.dep else ''}"
-                                         for r in flight)))
                 deduped[key] = CrashPlan(point=point, cls=cls,
                                          applied=applied,
                                          partials=partials, lo=lo, hi=hi,
-                                         signature=sig)
+                                         signature=f"{context}|{cls}|"
+                                                   f"{flight_sig}")
 
         for idx, rec in enumerate(records):
             if isinstance(rec, FenceRec):
@@ -241,24 +269,33 @@ def _raw_states(flight: List[LineStore]) -> int:
     return raw if flight else 0
 
 
-def _candidates(flight: List[LineStore]):
-    """Yield ``(cls, applied, partials)`` representatives for one
-    in-flight set (see the module docstring for the class catalog)."""
+def _candidates_hashed(flight: List[LineStore], mix_of: Dict[int, int],
+                       total: int):
+    """Yield ``(cls, applied, partials, mixsum)`` representatives for
+    one in-flight set (see the module docstring for the class catalog).
+
+    ``mixsum`` is ``sum(_mix(s) for s in applied)`` computed
+    algebraically from the flight total -- a drop/torn candidate's sum
+    is the total minus the dropped store's own mix, an exact integer
+    identity (subtracting an addend, no modular reduction involved).
+    """
     iset = frozenset(r.seq for r in flight)
     none: Tuple = ()
-    yield "intact", frozenset(), none
+    yield "intact", frozenset(), none, 0
     if not flight:
         return
-    yield "flushed", iset, none
+    yield "flushed", iset, none, total
     for r in flight:
-        yield f"solo:{r.mech}", frozenset({r.seq}), none
+        m = mix_of[r.seq]
+        rest_sum = total - m
+        yield f"solo:{r.mech}", frozenset({r.seq}), none, m
         if len(flight) > 1:
-            yield f"drop:{r.mech}", iset - {r.seq}, none
+            yield f"drop:{r.mech}", iset - {r.seq}, none, rest_sum
         if r.klass == "record" and r.nlines > 1:
             head = tuple(range(max(1, r.nlines // 2)))
             torn = ((r.seq, head),)
-            yield f"torn:{r.mech}", iset - {r.seq}, torn
-            yield f"torn-solo:{r.mech}", frozenset(), torn
+            yield f"torn:{r.mech}", iset - {r.seq}, torn, rest_sum
+            yield f"torn-solo:{r.mech}", frozenset(), torn, 0
         elif r.klass == "data" and r.nlines > 1:
             n = r.nlines
             rest = iset - {r.seq}
@@ -267,4 +304,14 @@ def _candidates(flight: List[LineStore]):
                     ("prefix", tuple(range(n // 2))),
                     ("suffix", tuple(range(n // 2, n))),
                     ("hole", tuple(i for i in range(n) if i != n // 2))):
-                yield f"{shape}:{r.mech}", rest, ((r.seq, lines),)
+                yield f"{shape}:{r.mech}", rest, ((r.seq, lines),), rest_sum
+
+
+def _candidates(flight: List[LineStore]):
+    """Hash-free view of :func:`_candidates_hashed` (kept as the plain
+    enumeration API)."""
+    mix_of = {r.seq: _mix(r.seq) for r in flight}
+    total = sum(mix_of.values())
+    for cls, applied, partials, _mixsum in \
+            _candidates_hashed(flight, mix_of, total):
+        yield cls, applied, partials

@@ -25,8 +25,6 @@ class UthreadState(enum.Enum):
 class Uthread:
     """One userspace thread."""
 
-    _seq = 0
-
     __slots__ = ("uid", "engine", "body", "name", "state", "deadline",
                  "priority", "watchdog_flagged", "home", "resume_value",
                  "done", "io_parked", "pending_continuation", "spawned_at",
@@ -38,8 +36,10 @@ class Uthread:
         if not hasattr(body, "send"):
             raise TypeError(
                 f"uthread body must be a generator, got {type(body).__name__}")
-        Uthread._seq += 1
-        self.uid = Uthread._seq
+        # Engine-scoped uid: deterministic per run, not per process
+        # (a class-level counter would leak across engines and make
+        # uthread names depend on everything run before).
+        self.uid = engine.name_seq("uthread")
         self.engine = engine
         self.body = body
         self.name = name or f"uthread-{self.uid}"

@@ -545,11 +545,13 @@ class Engine:
 
     __slots__ = ("_now", "_queue", "_push", "_wheel", "_active",
                  "_sleep_pool", "_sleeps_reused", "_stats", "_done",
-                 "tracer")
+                 "_name_seqs", "tracer")
 
     def __init__(self, scheduler=None):
         self._now: int = 0
         self._stats = EngineStats()
+        #: Engine-scoped naming counters (see :meth:`name_seq`).
+        self._name_seqs: dict = {}
         # Kept as a plain engine slot (cheaper to bump than a field of
         # _stats on the sleep() hot path) and synced into _stats by the
         # `stats` property.
@@ -597,10 +599,24 @@ class Engine:
         """Zero the engine's counters (the clock and queue are untouched).
 
         The queue's dead-entry count tracks live state, not history, so
-        it is deliberately left alone.
+        it is deliberately left alone.  Naming counters are also left
+        alone -- they identify objects already created on this engine.
         """
         self._sleeps_reused = 0
         self._stats.reset()
+
+    def name_seq(self, kind: str) -> int:
+        """Next value (1, 2, ...) of an engine-scoped naming counter.
+
+        Object uids/names built from these are deterministic *per run*:
+        two engines constructed in one process hand out identical
+        sequences, where a class-level counter would leak monotonically
+        across every engine in the process and make names depend on
+        whatever ran before (tests/test_runtime.py pins this down).
+        """
+        n = self._name_seqs.get(kind, 0) + 1
+        self._name_seqs[kind] = n
+        return n
 
     @property
     def done(self) -> Event:

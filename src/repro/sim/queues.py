@@ -44,7 +44,40 @@ import heapq
 import os
 from typing import List, Optional, Tuple
 
+from repro import vector
+
 _CANCELLED = 3  # mirrors repro.sim.engine's event-state constant
+
+#: Mirrors ``vector.ENABLED``; selects the np.sort heap rebuild below.
+_VEC_ON = False
+
+#: Below this many keys the stdlib heapify beats array round-tripping.
+_VECTOR_MIN_KEYS = 16
+
+
+@vector.register
+def _rebind_kernels(enabled: bool) -> None:
+    global _VEC_ON
+    _VEC_ON = enabled
+
+
+def _heapify_ints(values: List[int]) -> List[int]:
+    """Build a min-heap of distinct ints (wheel timestamps / epochs).
+
+    Vector mode returns the ascending np.sort -- a sorted list *is* a
+    valid binary min-heap, and since only pop order is observable (and
+    the keys are distinct), later heappush/heappop behave identically
+    on either layout.  Raw ns timestamps fit int64 comfortably; a
+    hypothetical overflow falls back to the reference heapify.
+    """
+    if _VEC_ON and len(values) >= _VECTOR_MIN_KEYS:
+        np = vector.numpy()
+        try:
+            return np.sort(np.asarray(values, dtype=np.int64)).tolist()
+        except OverflowError:  # pragma: no cover - >2**63 ns timestamps
+            pass
+    heapq.heapify(values)
+    return values
 
 #: Heap keys pack (when, seq) as ``(when << TIME_SHIFT) | seq``.
 TIME_SHIFT = 40
@@ -247,8 +280,7 @@ class TimingWheelQueue(EventQueue):
                 # Near timestamps are all < the old epoch_end and far
                 # ones all >= it, so the dicts are disjoint.
                 self._buckets.update(sub)
-                self._whens = list(self._buckets)
-                heapq.heapify(self._whens)
+                self._whens = _heapify_ints(list(self._buckets))
                 return True
         return False
 
@@ -288,8 +320,7 @@ class TimingWheelQueue(EventQueue):
                 buckets[when] = kept
                 live += len(kept)
         self._buckets = buckets
-        self._whens = list(buckets)
-        heapq.heapify(self._whens)
+        self._whens = _heapify_ints(list(buckets))
         far = {}
         for epoch, sub in self._far.items():
             kept_sub = {}
@@ -301,8 +332,7 @@ class TimingWheelQueue(EventQueue):
             if kept_sub:
                 far[epoch] = kept_sub
         self._far = far
-        self._far_epochs = list(far)
-        heapq.heapify(self._far_epochs)
+        self._far_epochs = _heapify_ints(list(far))
         self._len = live
         self._dead = 0
         if self.stats is not None:

@@ -312,3 +312,41 @@ class TestWatchdogRuntime:
         assert report.trace_op is None
         assert report.last_trace_event is None
         assert "trace: op" not in report.render()
+
+
+class TestEngineScopedNaming:
+    """Uthread uids/names must be deterministic per run, not per process.
+
+    The old class-level ``Uthread._seq`` leaked across engines: the
+    second engine in a process handed out uids continuing wherever the
+    first stopped, so names (and anything keyed on them -- watchdog
+    reports, trace labels) depended on what happened to run before.
+    """
+
+    def _run_one(self):
+        from repro.hw.platform import Platform, PlatformConfig
+        node = Platform(PlatformConfig.single_node())
+        rt = Runtime(node, cores=node.cores[:1])
+        names = []
+
+        def w(tag):
+            yield Compute(10 * tag)
+
+        uts = [rt.spawn(w(i)) for i in range(4)]
+        node.run()
+        names = [(ut.uid, ut.name) for ut in uts]
+        return names
+
+    def test_two_engines_same_run_are_identical(self):
+        first = self._run_one()
+        second = self._run_one()
+        assert first == second
+        assert first[0] == (1, "uthread-1")
+
+    def test_name_seq_is_per_engine_and_per_kind(self):
+        from repro.sim import Engine
+        a, b = Engine(), Engine()
+        assert [a.name_seq("uthread") for _ in range(3)] == [1, 2, 3]
+        # A fresh engine starts over; a different kind has its own space.
+        assert b.name_seq("uthread") == 1
+        assert a.name_seq("other") == 1

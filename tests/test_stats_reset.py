@@ -10,6 +10,8 @@ reset and the no-leak property for back-to-back runs.
 import pytest
 
 from repro.analysis.metrics import FaultStats, OverloadStats
+from repro.hw import memory as hw_memory
+from repro.hw.params import CostModel
 from repro.hw.platform import Platform, PlatformConfig
 from repro.net import NetStats
 from repro.sim import Engine
@@ -70,6 +72,44 @@ class TestSharedStatsReset:
         assert getattr(stats, flag)
         stats.reset()
         assert not getattr(stats, flag)
+
+
+class TestWaterfillCacheReset:
+    def _exercise(self, mem):
+        def body():
+            yield from mem.cpu_copy(65536, write=True)
+            yield mem.dma_transfer(65536, write=True, channel_rate=8.0,
+                                   tag=0)
+        run_proc(mem.engine, body())
+
+    def test_reset_stats_clears_counters_and_caches(self):
+        engine = Engine()
+        mem = hw_memory.SlowMemory(engine, CostModel(), dimms=6)
+        self._exercise(mem)
+        assert mem.bytes_written() > 0
+        assert hw_memory._WATERFILL_CACHE
+        mem.reset_stats()
+        assert mem.bytes_read() == 0 and mem.bytes_written() == 0
+        assert mem.write_pool.transfers_completed == 0
+        assert not hw_memory._WATERFILL_CACHE
+        assert not mem.write_pool._alloc_cache
+        # Still usable: a second run repopulates from scratch.
+        self._exercise(mem)
+        assert mem.bytes_written() > 0
+
+    def test_memo_cache_is_bounded_with_fifo_eviction(self):
+        hw_memory.clear_waterfill_cache()
+        cap = hw_memory._WATERFILL_CACHE_MAX
+        try:
+            for i in range(cap + 50):
+                hw_memory._waterfill([1.0], [float(i + 1)], 1.0)
+            assert len(hw_memory._WATERFILL_CACHE) == cap
+            # Oldest entries were evicted, newest are resident.
+            assert ((1.0,), (float(cap + 50),), 1.0) \
+                in hw_memory._WATERFILL_CACHE
+            assert ((1.0,), (1.0,), 1.0) not in hw_memory._WATERFILL_CACHE
+        finally:
+            hw_memory.clear_waterfill_cache()
 
 
 def _settle(fs, result):
