@@ -1,0 +1,102 @@
+"""CI fuzz-smoke: a fixed-seed, tuple-budgeted campaign per mutant.
+
+The continuous claim behind the committed corpus (ISSUE 10): the
+fuzzer, started from its seed corpus with a *fixed* seed and a small
+budget, re-finds both planted ``CRASH_MUTANTS`` and shrinks them to
+reproducers -- every run, within the budget, deterministically.  The
+companion claim: the same budget on unmutated main finds nothing (the
+detectors stay false-positive-free).
+
+Artifacts: every campaign's report -- including any failing tuple and
+its shrunk reproducer -- lands in ``fuzz_smoke_report.json`` (or
+``$REPRO_FUZZ_ARTIFACTS``), which the CI job uploads.  A new failure
+on main therefore arrives with its minimal reproducer attached, ready
+to triage into ``tests/corpus/``.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import run_once, show
+from repro.core.easyio import CRASH_MUTANTS
+from repro.fuzz import (FuzzConfig, ScenarioTuple, run_campaign,
+                        run_scenario, shrink)
+
+SEED = 2026
+BUDGET = 30            # tuples per campaign (well under a CI minute)
+BATCH = 6
+
+ARTIFACT = os.environ.get("REPRO_FUZZ_ARTIFACTS",
+                          "fuzz_smoke_report.json")
+
+
+def _append_artifact(section: str, payload: dict) -> None:
+    data = {}
+    if os.path.exists(ARTIFACT):
+        with open(ARTIFACT) as f:
+            data = json.load(f)
+    data[section] = payload
+    with open(ARTIFACT, "w") as f:
+        json.dump(data, f, indent=1, sort_keys=True)
+
+
+def _shrunk(failure, mutant):
+    """Minimise the first failure exactly like the corpus pipeline."""
+    t = ScenarioTuple.from_dict(failure.tuple_dict)
+    if mutant is None:
+        pred = lambda x: run_scenario(x).failing  # noqa: E731
+    else:
+        pred = lambda x: (run_scenario(x, mutant=mutant).failing  # noqa: E731
+                          and not run_scenario(x).failing)
+    mini, evals = shrink(t, pred, seed=0, max_evals=120)
+    return {"tuple": mini.to_dict(), "key": mini.key(),
+            "size": mini.size(), "from_size": t.size(),
+            "shrink_evals": evals}
+
+
+@pytest.mark.parametrize("mutant", CRASH_MUTANTS)
+def test_fuzz_smoke_refinds_planted_mutant(benchmark, mutant):
+    report = run_once(benchmark, lambda: run_campaign(
+        FuzzConfig(seed=SEED, budget=BUDGET, batch=BATCH,
+                   mutant=mutant, stop_after_failures=1)))
+    payload = report.as_dict()
+    detected = bool(report.failures)
+    if detected:
+        payload["shrunk"] = _shrunk(report.failures[0], mutant)
+    _append_artifact(f"mutant:{mutant}", payload)
+    show(f"{mutant}: executed={report.executed} "
+         f"signatures={report.distinct_signatures} "
+         f"found_at={report.failures[0].found_at if detected else None}")
+    assert detected, (f"planted mutant {mutant} not re-found within "
+                      f"{BUDGET} tuples (seed {SEED})")
+    assert report.failures[0].found_at <= BUDGET
+
+
+def test_fuzz_smoke_main_is_clean(benchmark):
+    """Same budget, no mutant: zero findings on main.  On failure the
+    artifact carries the offending tuple plus its shrunk reproducer
+    (upload step runs on failure too)."""
+    report = run_once(benchmark, lambda: run_campaign(
+        FuzzConfig(seed=SEED, budget=BUDGET, batch=BATCH)))
+    payload = report.as_dict()
+    if report.failures:
+        payload["shrunk"] = _shrunk(report.failures[0], None)
+    _append_artifact("main", payload)
+    show(f"main: executed={report.executed} "
+         f"coverage_keys={len(report.coverage)} "
+         f"signatures={report.distinct_signatures} "
+         f"fingerprint={report.fingerprint()}")
+    assert not report.failures, (
+        f"fuzz found a failure on main; shrunk reproducer in "
+        f"{ARTIFACT}: {report.failures[0].findings[:2]}")
+
+
+def test_fuzz_smoke_deterministic(benchmark):
+    """The CI campaign itself is bit-reproducible (fingerprint equal
+    across back-to-back runs in one process)."""
+    cfg = FuzzConfig(seed=SEED, budget=10, batch=4)
+    a = run_once(benchmark, lambda: run_campaign(cfg))
+    b = run_campaign(cfg)
+    assert a.fingerprint() == b.fingerprint()

@@ -165,3 +165,37 @@ def table2_crash_sweep(kinds: Iterable[str],
                 specs.append(spec)
                 keys.append(f"{gran}/{kind}/{wl}")
     return dict(zip(keys, run_crash_sweep(specs, processes=processes)))
+
+
+# -- fuzz campaigns ----------------------------------------------------
+
+def fuzz_point(spec: dict) -> dict:
+    """Run one fuzz scenario spec and return the picklable verdict.
+
+    ``spec`` is ``{"tuple": <ScenarioTuple.to_dict()>, "mutant":
+    str-or-None}``; the result is ``ScenarioResult.as_dict()``.
+    Module-level so a multiprocessing pool can pickle it by reference.
+    """
+    from repro.fuzz.scenario import run_scenario
+    from repro.fuzz.tuples import ScenarioTuple
+    t = ScenarioTuple.from_dict(spec["tuple"])
+    return run_scenario(t, mutant=spec.get("mutant")).as_dict()
+
+
+def run_fuzz_batch(specs: Sequence[dict],
+                   processes: Optional[int] = None) -> List[dict]:
+    """Evaluate one generation of fuzz specs, in input order.
+
+    Same determinism contract as :func:`run_sweep`: each spec's
+    verdict depends only on the spec (the scenario runner is a pure
+    function of the tuple), and order is preserved -- so a campaign
+    that batches by generation sees byte-identical results at any
+    worker count (tests/test_fuzz_campaign.py pins serial == parallel).
+    """
+    specs = list(specs)
+    if processes is None:
+        processes = os.cpu_count() or 1
+    if processes <= 1 or len(specs) <= 1:
+        return [fuzz_point(spec) for spec in specs]
+    with multiprocessing.Pool(min(processes, len(specs))) as pool:
+        return pool.map(fuzz_point, specs, chunksize=1)

@@ -1,0 +1,74 @@
+"""The campaign's global coverage map (novelty detector + energy
+signal).
+
+:class:`CoverageMap` accumulates the coverage keys of every executed
+scenario (:func:`repro.fuzz.scenario.run_scenario` assembles them from
+the :mod:`repro.obs.coverage` extractors).  The corpus scheduler asks
+one question -- "did this run reach anything new?" -- and rewards the
+parent tuple whose mutation did.
+
+The map is the one *stateful* object in the fuzzer, so it follows the
+repo's stats discipline: a :meth:`reset` restores construction state,
+and ``tests/test_stats_reset.py`` pins that back-to-back campaigns in
+one process cannot cross-contaminate through it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable
+
+
+class CoverageMap:
+    """Union of coverage keys across runs, with per-key hit counts."""
+
+    def __init__(self):
+        self.hits: Dict[str, int] = {}
+        self.observed_runs = 0
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def novelty(self, keys: Iterable[str]) -> int:
+        """How many of ``keys`` the map has never seen (read-only)."""
+        return sum(1 for k in keys if k not in self.hits)
+
+    def observe(self, keys: Iterable[str]) -> int:
+        """Record one run's coverage; return the novel-key count."""
+        novel = 0
+        for k in keys:
+            if k not in self.hits:
+                novel += 1
+                self.hits[k] = 1
+            else:
+                self.hits[k] += 1
+        self.observed_runs += 1
+        return novel
+
+    def signature(self) -> str:
+        """Order-independent hash of the key *set* (campaign
+        fingerprints; hit counts are excluded so the signature is a
+        pure reachability statement)."""
+        h = hashlib.sha1()
+        for k in sorted(self.hits):
+            h.update(k.encode())
+            h.update(b"\0")
+        return h.hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.hits)
+
+    def reset(self) -> None:
+        """Restore construction state (stats-reset discipline)."""
+        self.hits.clear()
+        self.observed_runs = 0
+
+
+def merge_coverage(maps: Iterable[CoverageMap]) -> CoverageMap:
+    """Fold several maps into a fresh one (campaign aggregation)."""
+    out = CoverageMap()
+    for m in maps:
+        for k, n in m.hits.items():
+            out.hits[k] = out.hits.get(k, 0) + n
+        out.observed_runs += m.observed_runs
+    return out

@@ -1,0 +1,327 @@
+"""Structured mutators: one small, validity-preserving edit per call.
+
+Each mutator is a pure function ``(rng, tuple) -> tuple-or-None`` that
+edits exactly one dimension of a :class:`ScenarioTuple` and returns
+``None`` when it does not apply (e.g. "remove an op" on an empty
+schedule).  :func:`apply_mutation` picks mutators with a seeded RNG and
+re-validates every candidate through :meth:`ScenarioTuple.validate` --
+which *builds* the real ``FaultPlan``/``NetFaultPlan``, so the plans'
+own validators (probability bounds, disjoint windows, ``max_faults``
+budgets) gate every mutation.  The property tests simply hammer this
+loop and assert no invalid tuple ever escapes.
+
+Validity is mostly by construction rather than by rejection: new
+bandwidth/partition/crash windows are appended *after* the last
+existing window on the same resource, so the disjointness invariant
+survives any mutation order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.fs.structures import PAGE_SIZE
+
+from repro.fuzz.tuples import (FAULT_TOLERANT_KINDS, MAX_FILES, MAX_GAP_NS,
+                               MAX_IO, MAX_OFFSET, MAX_OPS, N_CHANNELS,
+                               OP_KINDS, ScenarioTuple, make_op)
+
+Mutator = Callable[[random.Random, ScenarioTuple],
+                   Optional[ScenarioTuple]]
+
+#: (name, fn) registry; register_mutator appends.
+MUTATORS: List[Tuple[str, Mutator]] = []
+
+
+def register_mutator(name: str):
+    def deco(fn: Mutator) -> Mutator:
+        MUTATORS.append((name, fn))
+        return fn
+    return deco
+
+
+def _rand_op(rng: random.Random, nfiles: int) -> Tuple:
+    kind = rng.choices(OP_KINDS, weights=(5, 3, 2, 1))[0]
+    f = rng.randrange(nfiles)
+    gap = rng.choice((0, 0, 1_000, 20_000, 100_000))
+    if kind == "truncate":
+        return make_op(kind, f, rng.randrange(0, MAX_OFFSET), 0, 0, gap)
+    nbytes = rng.randrange(1, 4 * PAGE_SIZE)
+    offset = 0 if kind == "append" else rng.randrange(0, 8 * PAGE_SIZE)
+    return make_op(kind, f, offset, nbytes, rng.getrandbits(32), gap)
+
+
+# -- workload dimension ------------------------------------------------
+
+@register_mutator("wl-insert-op")
+def _wl_insert(rng, t):
+    ops = list(t.workload.ops)
+    if len(ops) >= MAX_OPS:
+        return None
+    ops.insert(rng.randrange(len(ops) + 1), _rand_op(rng, t.workload.nfiles))
+    return replace(t, workload=replace(t.workload, ops=tuple(ops)))
+
+
+@register_mutator("wl-remove-op")
+def _wl_remove(rng, t):
+    ops = list(t.workload.ops)
+    if not ops:
+        return None
+    ops.pop(rng.randrange(len(ops)))
+    return replace(t, workload=replace(t.workload, ops=tuple(ops)))
+
+
+@register_mutator("wl-duplicate-op")
+def _wl_dup(rng, t):
+    ops = list(t.workload.ops)
+    if not ops or len(ops) >= MAX_OPS:
+        return None
+    i = rng.randrange(len(ops))
+    ops.insert(i, ops[i])
+    return replace(t, workload=replace(t.workload, ops=tuple(ops)))
+
+
+@register_mutator("wl-tweak-field")
+def _wl_tweak(rng, t):
+    """Nudge one numeric field of one op (offset/nbytes/seed/gap)."""
+    ops = list(t.workload.ops)
+    if not ops:
+        return None
+    i = rng.randrange(len(ops))
+    kind, f, a, b, pseed, gap = ops[i]
+    which = rng.randrange(4)
+    if which == 0:
+        a = rng.choice((0, PAGE_SIZE - 1, PAGE_SIZE, a // 2,
+                        min(a * 2 + 1, MAX_OFFSET)))
+    elif which == 1 and kind != "truncate":
+        b = rng.choice((1, PAGE_SIZE, PAGE_SIZE + 1, max(1, b // 2),
+                        min(max(1, b * 2), MAX_IO)))
+    elif which == 2:
+        pseed = rng.getrandbits(32)
+    else:
+        gap = rng.choice((0, 1_000, 20_000, MAX_GAP_NS))
+    ops[i] = make_op(kind, f, a, b, pseed, gap)
+    return replace(t, workload=replace(t.workload, ops=tuple(ops)))
+
+
+@register_mutator("wl-swap-ops")
+def _wl_swap(rng, t):
+    ops = list(t.workload.ops)
+    if len(ops) < 2:
+        return None
+    i = rng.randrange(len(ops) - 1)
+    ops[i], ops[i + 1] = ops[i + 1], ops[i]
+    return replace(t, workload=replace(t.workload, ops=tuple(ops)))
+
+
+@register_mutator("wl-add-file")
+def _wl_add_file(rng, t):
+    wl = t.workload
+    if wl.nfiles >= MAX_FILES:
+        return None
+    return replace(t, workload=replace(wl, nfiles=wl.nfiles + 1))
+
+
+# -- fault dimension ---------------------------------------------------
+
+@register_mutator("fault-prob")
+def _fault_prob(rng, t):
+    """Set/clear a probabilistic descriptor-fault rate (forces a
+    fault-tolerant kind to keep the tuple valid)."""
+    field_name = rng.choice(("p_xfer_error", "p_chan_halt"))
+    value = rng.choice((0.0, 0.05, 0.2, 0.5))
+    fault = replace(t.fault, **{field_name: value})
+    kind = t.kind if (not fault.descriptor_faulty
+                      or t.kind in FAULT_TOLERANT_KINDS) \
+        else rng.choice(FAULT_TOLERANT_KINDS)
+    return replace(t, kind=kind, fault=fault)
+
+
+@register_mutator("fault-add-halt")
+def _fault_add_halt(rng, t):
+    halts = t.fault.halts + ((rng.randrange(N_CHANNELS),
+                              rng.randrange(1, 64)),)
+    kind = t.kind if t.kind in FAULT_TOLERANT_KINDS \
+        else rng.choice(FAULT_TOLERANT_KINDS)
+    return replace(t, kind=kind, fault=replace(t.fault, halts=halts))
+
+
+@register_mutator("fault-halt-storm")
+def _fault_halt_storm(rng, t):
+    """Halt every channel at its first descriptor -- the degrade-path
+    forcing pattern (all failovers exhausted)."""
+    halts = tuple((ch, 1) for ch in range(N_CHANNELS))
+    if t.fault.halts == halts:
+        return None
+    kind = t.kind if t.kind in FAULT_TOLERANT_KINDS \
+        else rng.choice(FAULT_TOLERANT_KINDS)
+    return replace(t, kind=kind, fault=replace(t.fault, halts=halts))
+
+
+@register_mutator("fault-add-xfer")
+def _fault_add_xfer(rng, t):
+    xfers = t.fault.xfers + ((rng.randrange(N_CHANNELS),
+                              rng.randrange(1, 64)),)
+    kind = t.kind if t.kind in FAULT_TOLERANT_KINDS \
+        else rng.choice(FAULT_TOLERANT_KINDS)
+    return replace(t, kind=kind, fault=replace(t.fault, xfers=xfers))
+
+
+@register_mutator("fault-add-bw")
+def _fault_add_bw(rng, t):
+    """Append a bandwidth-throttle window after the last one (keeps
+    the disjoint-window invariant by construction)."""
+    start = max((s + d for s, d, _ in t.fault.bw), default=0) + \
+        rng.randrange(1, 50_000)
+    window = (start, rng.randrange(10_000, 200_000),
+              rng.choice((0.1, 0.25, 0.5)))
+    return replace(t, fault=replace(t.fault, bw=t.fault.bw + (window,)))
+
+
+@register_mutator("fault-drop-one")
+def _fault_drop(rng, t):
+    f = t.fault
+    pools = [p for p in ("halts", "xfers", "bw") if getattr(f, p)]
+    if not pools:
+        return None
+    pool = rng.choice(pools)
+    items = list(getattr(f, pool))
+    items.pop(rng.randrange(len(items)))
+    return replace(t, fault=replace(f, **{pool: tuple(items)}))
+
+
+@register_mutator("fault-reseed")
+def _fault_reseed(rng, t):
+    if not t.fault.active:
+        return None
+    return replace(t, fault=replace(t.fault, seed=rng.getrandbits(16)))
+
+
+# -- net dimension -----------------------------------------------------
+
+@register_mutator("net-toggle")
+def _net_toggle(rng, t):
+    return replace(t, net=replace(t.net, enabled=not t.net.enabled,
+                                  seed=rng.getrandbits(16)))
+
+
+@register_mutator("net-prob")
+def _net_prob(rng, t):
+    field_name = rng.choice(("p_drop", "p_dup", "p_delay"))
+    value = rng.choice((0.0, 0.05, 0.15, 0.4))
+    return replace(t, net=replace(t.net, enabled=True,
+                                  **{field_name: value}))
+
+
+@register_mutator("net-add-partition")
+def _net_add_partition(rng, t):
+    net = t.net
+    n_iso = rng.randrange(1, net.n_nodes - 1) if net.n_nodes > 2 else 1
+    group = tuple(sorted(rng.sample(range(net.n_nodes), n_iso)))
+    start = max((s + d for s, d, _ in net.partitions), default=10_000) + \
+        rng.randrange(1, 40_000)
+    window = (start, rng.randrange(20_000, 120_000), group)
+    return replace(t, net=replace(net, enabled=True,
+                                  partitions=net.partitions + (window,)))
+
+
+@register_mutator("net-add-crash")
+def _net_add_crash(rng, t):
+    net = t.net
+    node = rng.randrange(net.n_nodes)
+    start = max((at + down for n, at, down in net.crashes if n == node),
+                default=10_000) + rng.randrange(1, 40_000)
+    crash = (node, start, rng.randrange(20_000, 120_000))
+    return replace(t, net=replace(net, enabled=True,
+                                  crashes=net.crashes + (crash,)))
+
+
+@register_mutator("net-load")
+def _net_load(rng, t):
+    return replace(t, net=replace(
+        t.net, enabled=True,
+        n_clients=rng.randrange(1, 4),
+        writes_per_client=rng.randrange(2, 12)))
+
+
+# -- runtime dimension -------------------------------------------------
+
+@register_mutator("rt-rate")
+def _rt_rate(rng, t):
+    rate = rng.choice((None, 50_000.0, 200_000.0, 1_000_000.0))
+    burst = rng.choice((1, 2, 8, 32))
+    return replace(t, runtime=replace(t.runtime, rate_ops_per_sec=rate,
+                                      burst=burst))
+
+
+@register_mutator("rt-inflight")
+def _rt_inflight(rng, t):
+    return replace(t, runtime=replace(
+        t.runtime, max_inflight=rng.choice((None, 1, 2, 8))))
+
+
+@register_mutator("rt-policy")
+def _rt_policy(rng, t):
+    from repro.runtime.admission import POLICIES
+    return replace(t, runtime=replace(t.runtime,
+                                      policy=rng.choice(tuple(POLICIES))))
+
+
+@register_mutator("rt-deadline")
+def _rt_deadline(rng, t):
+    return replace(t, runtime=replace(
+        t.runtime, deadline_us=rng.choice((None, 5, 50, 500, 5_000))))
+
+
+# -- crash dimension ---------------------------------------------------
+
+@register_mutator("crash-toggle")
+def _crash_toggle(rng, t):
+    return replace(t, crash=replace(t.crash, enabled=not t.crash.enabled))
+
+
+@register_mutator("crash-knobs")
+def _crash_knobs(rng, t):
+    return replace(t, crash=replace(
+        t.crash, enabled=True,
+        per_signature=rng.choice((1, 2, 4)),
+        budget=rng.choice((16, 48, 128)),
+        seed=rng.getrandbits(16)))
+
+
+# -- kind dimension ----------------------------------------------------
+
+@register_mutator("kind-switch")
+def _kind_switch(rng, t):
+    from repro.workloads.factory import FS_KINDS
+    pool = FAULT_TOLERANT_KINDS if t.fault.descriptor_faulty \
+        else tuple(FS_KINDS)
+    kind = rng.choice([k for k in pool if k != t.kind] or [t.kind])
+    if kind == t.kind:
+        return None
+    return replace(t, kind=kind)
+
+
+def mutator_names() -> Tuple[str, ...]:
+    return tuple(name for name, _ in MUTATORS)
+
+
+def apply_mutation(rng: random.Random, t: ScenarioTuple,
+                   tries: int = 24) -> Tuple[str, ScenarioTuple]:
+    """One validated mutation; raises only if ``tries`` successive
+    picks all fail to produce a *new, valid* tuple (practically
+    unreachable -- insert-op alone always applies below MAX_OPS)."""
+    for _ in range(tries):
+        name, fn = MUTATORS[rng.randrange(len(MUTATORS))]
+        candidate = fn(rng, t)
+        if candidate is None or candidate == t:
+            continue
+        try:
+            candidate.validate()
+        except (ValueError, KeyError):
+            continue
+        return name, candidate
+    raise RuntimeError(f"no applicable mutation found in {tries} tries "
+                       f"for tuple {t.key()}")

@@ -1,0 +1,193 @@
+"""Delta-debugging shrinker: failing tuple -> minimal reproducer.
+
+Classic ddmin over the op schedule, then a fixed catalogue of
+dimension simplifications (zero a probability, drop a fault, disable
+the net dimension, strip admission, shrink an op's byte count...),
+iterated to a fixpoint.  A candidate is accepted only if the caller's
+``predicate`` still holds **and** :meth:`ScenarioTuple.size` does not
+increase -- which makes the result monotonically non-increasing in
+tuple size by construction (a property test pins this, plus
+determinism: candidates are generated in a fixed order, the seed only
+breaks ties inside ddmin's chunk ordering).
+
+The predicate is arbitrary -- "any finding", "this detector fired",
+or the corpus-seeding one: "fails with the mutant planted AND passes
+without it" (so a committed reproducer is evidence the *mutant* is the
+cause, not an engine quirk).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable, Iterator, Tuple
+
+from repro.fs.structures import PAGE_SIZE
+
+from repro.fuzz.tuples import (CrashSpec, FaultSpec, NetSpec, RuntimeSpec,
+                               ScenarioTuple)
+
+Predicate = Callable[[ScenarioTuple], bool]
+
+
+class ShrinkBudget(Exception):
+    """Raised internally when max_evals is exhausted (caught: the best
+    tuple so far is returned)."""
+
+
+class _Shrinker:
+    def __init__(self, predicate: Predicate, seed: int, max_evals: int):
+        self.predicate = predicate
+        self.rng = random.Random(seed)
+        self.max_evals = max_evals
+        self.evals = 0
+        self.cache: dict = {}
+
+    def holds(self, t: ScenarioTuple) -> bool:
+        key = t.key()
+        if key in self.cache:
+            return self.cache[key]
+        if self.evals >= self.max_evals:
+            raise ShrinkBudget
+        self.evals += 1
+        try:
+            t.validate()
+            ok = bool(self.predicate(t))
+        except Exception:
+            ok = False
+        self.cache[key] = ok
+        return ok
+
+    def accept(self, current: ScenarioTuple,
+               candidate: ScenarioTuple) -> bool:
+        return (candidate.size() <= current.size()
+                and candidate != current
+                and self.holds(candidate))
+
+    # -- ddmin over the op schedule -----------------------------------
+    def ddmin_ops(self, t: ScenarioTuple) -> ScenarioTuple:
+        ops = list(t.workload.ops)
+        granularity = 2
+        while len(ops) >= 2:
+            chunk = max(1, len(ops) // granularity)
+            starts = list(range(0, len(ops), chunk))
+            self.rng.shuffle(starts)  # seed-determined probe order
+            reduced = False
+            for start in starts:
+                keep = ops[:start] + ops[start + chunk:]
+                cand = replace(t, workload=replace(t.workload,
+                                                   ops=tuple(keep)))
+                if self.accept(t, cand):
+                    ops = keep
+                    t = cand
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if chunk == 1:
+                    break
+                granularity = min(granularity * 2, len(ops))
+        return t
+
+    # -- dimension simplifications (fixed order) ----------------------
+    def candidates(self, t: ScenarioTuple) -> Iterator[ScenarioTuple]:
+        f, n, r = t.fault, t.net, t.runtime
+        # fault: drop whole dimension, then one element at a time,
+        # then zero each probability.
+        if f.active:
+            yield replace(t, fault=FaultSpec())
+        for pool in ("halts", "xfers", "bw"):
+            items = getattr(f, pool)
+            for i in range(len(items)):
+                yield replace(t, fault=replace(
+                    f, **{pool: items[:i] + items[i + 1:]}))
+        for p in ("p_xfer_error", "p_chan_halt"):
+            if getattr(f, p):
+                yield replace(t, fault=replace(f, **{p: 0.0}))
+        # net: disable, then strip windows/probabilities/load.
+        if n.enabled:
+            yield replace(t, net=NetSpec())
+            for i in range(len(n.partitions)):
+                yield replace(t, net=replace(
+                    n, partitions=n.partitions[:i] + n.partitions[i + 1:]))
+            for i in range(len(n.crashes)):
+                yield replace(t, net=replace(
+                    n, crashes=n.crashes[:i] + n.crashes[i + 1:]))
+            for p in ("p_drop", "p_dup", "p_delay"):
+                if getattr(n, p):
+                    yield replace(t, net=replace(n, **{p: 0.0}))
+            if n.writes_per_client > 1:
+                yield replace(t, net=replace(
+                    n, writes_per_client=n.writes_per_client // 2))
+        # runtime: strip admission and deadlines.
+        if r.admission_active or r.deadline_us is not None:
+            yield replace(t, runtime=RuntimeSpec())
+        if r.deadline_us is not None:
+            yield replace(t, runtime=replace(r, deadline_us=None))
+        if r.admission_active:
+            yield replace(t, runtime=replace(r, rate_ops_per_sec=None,
+                                             max_inflight=None))
+        # crash: disable the sweep (differential/trace findings only).
+        if t.crash.enabled:
+            yield replace(t, crash=CrashSpec(enabled=False))
+        # workload: fewer files, smaller ops, no gaps.
+        if t.workload.nfiles > 1:
+            used = {op[1] for op in t.workload.ops}
+            if used and max(used) < t.workload.nfiles - 1 or not used:
+                yield replace(t, workload=replace(
+                    t.workload, nfiles=t.workload.nfiles - 1))
+        for i, op in enumerate(t.workload.ops):
+            kind, fl, a, b, pseed, gap = op
+            ops = list(t.workload.ops)
+            if gap:
+                ops[i] = (kind, fl, a, b, pseed, 0)
+                yield replace(t, workload=replace(t.workload,
+                                                  ops=tuple(ops)))
+                ops = list(t.workload.ops)
+            if kind != "truncate" and b > PAGE_SIZE:
+                ops[i] = (kind, fl, a, max(1, b // 2), pseed, gap)
+                yield replace(t, workload=replace(t.workload,
+                                                  ops=tuple(ops)))
+                ops = list(t.workload.ops)
+            if a:
+                ops[i] = (kind, fl, 0, b, pseed, gap)
+                yield replace(t, workload=replace(t.workload,
+                                                  ops=tuple(ops)))
+
+    def simplify(self, t: ScenarioTuple) -> ScenarioTuple:
+        progress = True
+        while progress:
+            progress = False
+            for cand in self.candidates(t):
+                if self.accept(t, cand):
+                    t = cand
+                    progress = True
+                    break
+        return t
+
+
+def shrink(t: ScenarioTuple, predicate: Predicate, *, seed: int = 0,
+           max_evals: int = 400) -> Tuple[ScenarioTuple, int]:
+    """Reduce ``t`` while ``predicate`` holds; returns ``(minimal,
+    evaluations_spent)``.
+
+    Deterministic for a given ``(tuple, predicate, seed)``; the result
+    never has a larger :meth:`~ScenarioTuple.size` than the input.  If
+    the predicate does not hold on the input, it is returned unchanged
+    (nothing to shrink).
+    """
+    shrinker = _Shrinker(predicate, seed, max_evals)
+    try:
+        if not shrinker.holds(t):
+            return t, shrinker.evals
+        rounds = 0
+        while rounds < 8:
+            rounds += 1
+            before = t
+            t = shrinker.ddmin_ops(t)
+            t = shrinker.simplify(t)
+            if t == before:
+                break
+    except ShrinkBudget:
+        pass
+    return t, shrinker.evals

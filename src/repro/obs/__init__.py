@@ -1,5 +1,13 @@
-"""Observability: sim-time tracing and trace-invariant oracles."""
+"""Observability: sim-time tracing, trace-invariant oracles, and
+coverage-signal extraction (the fuzzer's guidance hooks)."""
 
+from repro.obs.coverage import (
+    ack_gap_buckets,
+    bucket,
+    counter_buckets,
+    trace_vocabulary,
+    track_class,
+)
 from repro.obs.trace import (
     BEGIN,
     END,
@@ -46,4 +54,9 @@ __all__ = [
     "ReplicaSnMonotonic",
     "assert_trace_ok",
     "register_oracle",
+    "ack_gap_buckets",
+    "bucket",
+    "counter_buckets",
+    "trace_vocabulary",
+    "track_class",
 ]

@@ -1,0 +1,59 @@
+"""Replay the committed regression corpus (tests/corpus/*.json).
+
+Every reproducer is a minimal scenario tuple the fuzzer shrank from a
+failing campaign (ISSUE 10 satellite).  The tier-1 contract, per file:
+
+* **on main** the tuple passes every detector (so a reproducer that
+  starts failing here means a real regression, not fuzz flake);
+* **with its planted mutant** the tuple fails, and the expected
+  detector:check pairs all fire (so the crash model keeps catching
+  the exact bug class the reproducer encodes).
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import ScenarioTuple, load_reproducers, run_scenario
+from repro.core.easyio import CRASH_MUTANTS
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+REPRODUCERS = load_reproducers(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    """The committed corpus covers both planted mutants."""
+    assert REPRODUCERS, "tests/corpus/ is empty"
+    mutants = {p["mutant"] for _, p in REPRODUCERS}
+    assert set(CRASH_MUTANTS) <= mutants
+
+
+@pytest.mark.parametrize("fname,payload", REPRODUCERS,
+                         ids=[f for f, _ in REPRODUCERS])
+class TestReproducer:
+    def test_tuple_is_valid_and_keyed(self, fname, payload):
+        t = ScenarioTuple.from_dict(payload["tuple"])
+        t.validate()
+        assert t.key() == payload["key"], \
+            "committed tuple was edited without refreshing its key"
+
+    def test_passes_on_main(self, fname, payload):
+        t = ScenarioTuple.from_dict(payload["tuple"])
+        result = run_scenario(t)
+        assert not result.failing, \
+            f"reproducer now fails on main: {result.findings}"
+
+    def test_fails_with_mutant(self, fname, payload):
+        t = ScenarioTuple.from_dict(payload["tuple"])
+        result = run_scenario(t, mutant=payload["mutant"])
+        assert result.failing, "planted mutant no longer detected"
+        fired = {f"{f.detector}:{f.check}" for f in result.findings}
+        missing = set(payload["expect"]) - fired
+        assert not missing, \
+            f"expected detectors did not fire: {sorted(missing)}"
+
+    def test_shrunk_size_recorded(self, fname, payload):
+        t = ScenarioTuple.from_dict(payload["tuple"])
+        assert t.size() == payload["shrink"]["to_size"]
+        assert payload["shrink"]["to_size"] <= payload["shrink"]["from_size"]

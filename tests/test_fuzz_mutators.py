@@ -1,0 +1,140 @@
+"""Property tests: mutators preserve validity, the shrinker is
+deterministic and monotone (ISSUE 10 satellite).
+
+The mutator property is the load-bearing one: every mutated
+``FaultPlan``/``NetFaultPlan`` must still pass its *own* validators
+(probability bounds, disjoint windows, ``max_faults`` budget) --
+:meth:`ScenarioTuple.validate` builds the real plans, so hammering
+``apply_mutation`` and validating is a direct test of the fuzzer's
+"validity by construction" claim.
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz import (FAULT_TOLERANT_KINDS, ScenarioTuple, WorkloadSpec,
+                        apply_mutation, make_op, mutator_names,
+                        run_scenario, schedule_from_seed, seed_corpus,
+                        shrink)
+from repro.fuzz.tuples import FaultSpec, N_CHANNELS
+
+
+def test_mutation_chains_stay_valid():
+    """Long random mutation chains never escape the validators."""
+    rng = random.Random(1234)
+    for start in seed_corpus():
+        t = start
+        for _ in range(60):
+            _name, t = apply_mutation(rng, t)
+            t.validate()  # raises on any invariant break
+            plan = t.fault.build()
+            if plan is not None:
+                # The live plan re-ran FaultPlan's validators on
+                # construction (probabilities, 1-based SNs, no
+                # conflicting (channel, sn) entries, window bounds).
+                assert plan.max_faults >= 0
+            t.net.build()
+
+
+def test_mutation_visits_every_dimension():
+    """The registry covers all five tuple dimensions (a mutator
+    rename/removal that silently narrows the search space fails
+    here)."""
+    names = mutator_names()
+    for prefix in ("wl-", "fault-", "net-", "rt-", "crash-", "kind-"):
+        assert any(n.startswith(prefix) for n in names), \
+            f"no mutator for dimension {prefix}"
+
+
+def test_mutation_is_seed_deterministic():
+    t = seed_corpus()[0]
+    def chain(seed):
+        rng = random.Random(seed)
+        cur = t
+        out = []
+        for _ in range(20):
+            name, cur = apply_mutation(rng, cur)
+            out.append((name, cur.key()))
+        return out
+    assert chain(7) == chain(7)
+    assert chain(7) != chain(8)  # and the seed actually matters
+
+
+def test_descriptor_faults_imply_tolerant_kind():
+    """Mutators may add descriptor faults to any tuple, but the result
+    must always land on a supervised kind."""
+    rng = random.Random(99)
+    t = ScenarioTuple(kind="nova",
+                      workload=schedule_from_seed(5, n_ops=4))
+    for _ in range(80):
+        _name, t = apply_mutation(rng, t)
+        if t.fault.descriptor_faulty:
+            assert t.kind in FAULT_TOLERANT_KINDS
+
+
+def test_invalid_tuple_rejected_by_validators():
+    """The plan validators the mutators rely on actually reject bad
+    input (guards against validation becoming a no-op)."""
+    with pytest.raises(ValueError):
+        ScenarioTuple(fault=FaultSpec(p_chan_halt=1.5)).validate()
+    with pytest.raises(ValueError):
+        ScenarioTuple(fault=FaultSpec(halts=((N_CHANNELS + 3, 1),))
+                      ).validate()
+    with pytest.raises(ValueError):
+        ScenarioTuple(kind="nova",
+                      fault=FaultSpec(p_chan_halt=0.1)).validate()
+
+
+# -- shrinker ----------------------------------------------------------
+
+def _torn_tuple():
+    """A deliberately padded tuple whose mutant failure survives
+    shrinking (cheap: three appends, crash sweep on)."""
+    return ScenarioTuple(workload=WorkloadSpec(ops=(
+        make_op("append", 0, 0, 300, 1, 1_000),
+        make_op("read", 0, 0, 100, 0, 0),
+        make_op("append", 0, 0, 700, 3, 20_000))))
+
+
+def _mutant_pred(t):
+    return run_scenario(t, mutant="skip_append_fence").failing
+
+
+def test_shrink_deterministic_by_seed():
+    t = _torn_tuple()
+    a, evals_a = shrink(t, _mutant_pred, seed=3, max_evals=80)
+    b, evals_b = shrink(t, _mutant_pred, seed=3, max_evals=80)
+    assert a == b and evals_a == evals_b
+
+
+def test_shrink_monotonically_non_increasing():
+    t = _torn_tuple()
+    sizes = []
+    # Track every accepted intermediate through the predicate.
+    def pred(x):
+        ok = _mutant_pred(x)
+        if ok:
+            sizes.append(x.size())
+        return ok
+    mini, _ = shrink(t, pred, seed=0, max_evals=80)
+    assert mini.size() <= t.size()
+    # Every accepted candidate (predicate-true) that the shrinker kept
+    # is <= the input size; the final result is the smallest seen.
+    assert mini.size() == min(sizes)
+    assert pred(mini)  # still failing after reduction
+
+
+def test_shrink_keeps_failure_reproducing():
+    mini, _ = shrink(_torn_tuple(), _mutant_pred, seed=0, max_evals=80)
+    assert run_scenario(mini, mutant="skip_append_fence").failing
+    assert not run_scenario(mini).failing
+
+
+def test_shrink_passthrough_on_passing_tuple():
+    """Nothing to shrink: a passing tuple comes back unchanged."""
+    t = ScenarioTuple(workload=WorkloadSpec(ops=(
+        make_op("write", 0, 0, 64, 5),)),)
+    out, evals = shrink(t, lambda x: run_scenario(x).failing,
+                        seed=0, max_evals=10)
+    assert out == t and evals == 1

@@ -166,3 +166,36 @@ class TestOpCounterReset:
         fs.engine.reset_stats()
         second = run_once()
         assert second == first
+
+
+class TestCoverageMapReset:
+    """The fuzzer's coverage collector is the one stateful object a
+    campaign carries; a leaked map would let run A's coverage mask
+    run B's novelty and silently starve its corpus scheduler."""
+
+    def _observe_some(self, m):
+        from repro.fuzz import run_scenario, seed_corpus
+        m.observe(run_scenario(seed_corpus()[0]).coverage)
+
+    def test_reset_restores_construction_state(self):
+        from repro.fuzz import CoverageMap
+        m = CoverageMap()
+        self._observe_some(m)
+        assert len(m) > 0 and m.observed_runs == 1
+        m.reset()
+        assert len(m) == 0
+        assert m.observed_runs == 0
+        assert m.as_dict() == {}
+        assert m.signature() == CoverageMap().signature()
+
+    def test_back_to_back_campaign_use_counts_identically(self):
+        """The cross-contamination regression: after a reset, the same
+        run must be fully novel again (not masked by the previous
+        campaign's keys)."""
+        from repro.fuzz import CoverageMap, run_scenario, seed_corpus
+        keys = run_scenario(seed_corpus()[0]).coverage
+        m = CoverageMap()
+        first_novel = m.observe(keys)
+        assert m.observe(keys) == 0  # fully masked within one campaign
+        m.reset()
+        assert m.observe(keys) == first_novel
